@@ -1,0 +1,16 @@
+// Regenerates Figure 11: RowClone - CLFLUSH speedup. The sweep logic is
+// shared with Figure 10 (bench_fig10_rowclone_noflush.cpp); this binary
+// simply runs it with coherence flushes enabled.
+
+int fig10_main(int argc, char** argv);
+
+#define main fig10_main
+#include "bench_fig10_rowclone_noflush.cpp"  // NOLINT(bugprone-suspicious-include)
+#undef main
+
+int main() {
+  char arg0[] = "bench_fig11_rowclone_clflush";
+  char arg1[] = "--clflush";
+  char* argv[] = {arg0, arg1, nullptr};
+  return fig10_main(2, argv);
+}

@@ -1,0 +1,107 @@
+// Google-benchmark microbenchmarks of the library's hot primitives. These
+// do not reproduce a paper artifact; they guard the simulation-speed
+// properties the end-to-end benches (especially Fig. 14) depend on.
+
+#include <benchmark/benchmark.h>
+
+#include "bender/interpreter.hpp"
+#include "cpu/cache.hpp"
+#include "dram/device.hpp"
+#include "smc/bloom.hpp"
+#include "smc/scheduler.hpp"
+
+namespace {
+
+using namespace easydram;
+using namespace easydram::literals;
+
+dram::VariationConfig fast_variation() {
+  dram::VariationConfig v;
+  v.min_trcd = Picoseconds{1000};
+  v.max_trcd = Picoseconds{1001};
+  return v;
+}
+
+void BM_DeviceActReadPre(benchmark::State& state) {
+  dram::DramDevice dev(dram::Geometry{}, dram::ddr4_1333(), fast_variation());
+  Picoseconds t{0};
+  std::uint32_t row = 0;
+  for (auto _ : state) {
+    dev.issue(dram::Command::kAct, {0, row, 0}, dev.earliest_legal(dram::Command::kAct, {0, row, 0}));
+    dev.issue(dram::Command::kRead, {0, row, 0}, dev.earliest_legal(dram::Command::kRead, {0, row, 0}));
+    dev.issue(dram::Command::kPre, {0, 0, 0}, dev.earliest_legal(dram::Command::kPre, {0, 0, 0}));
+    row = (row + 1) % 1024;
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_DeviceActReadPre);
+
+void BM_VariationRowMinTrcd(benchmark::State& state) {
+  const dram::Geometry geo;
+  const dram::VariationModel model(geo, dram::VariationConfig{});
+  std::uint32_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.row_min_trcd(row % 16, row % 32768));
+    ++row;
+  }
+}
+BENCHMARK(BM_VariationRowMinTrcd);
+
+void BM_BenderBatchExecute(benchmark::State& state) {
+  dram::DramDevice dev(dram::Geometry{}, dram::ddr4_1333(), fast_variation());
+  bender::Interpreter interp(dev);
+  bender::Program p;
+  p.ddr(dram::Command::kAct, {0, 1, 0});
+  for (std::uint32_t c = 0; c < 8; ++c) p.ddr(dram::Command::kRead, {0, 1, c}, true);
+  p.ddr(dram::Command::kPre, {0, 0, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.execute(p, dev.now()));
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_BenderBatchExecute);
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  cpu::Cache cache(cpu::CacheConfig{512 * 1024, 8, 64});
+  for (std::uint64_t i = 0; i < 512; ++i) cache.fill(i * 64);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access((i % 512) * 64));
+    ++i;
+  }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_FrfcfsPick(benchmark::State& state) {
+  smc::RequestTable table(32);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    smc::TableEntry e;
+    e.dram_addr = dram::DramAddress{i % 16, i * 7 % 1024, 0};
+    table.insert(std::move(e));
+  }
+  const smc::BankStateView banks(
+      [](std::uint32_t bank) -> std::optional<std::uint32_t> {
+        return bank % 2 == 0 ? std::optional<std::uint32_t>{7} : std::nullopt;
+      });
+  const smc::FrfcfsScheduler sched;
+  std::size_t scanned = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.pick(table, banks, scanned));
+  }
+}
+BENCHMARK(BM_FrfcfsPick);
+
+void BM_BloomQuery(benchmark::State& state) {
+  smc::BloomFilter filter(1 << 17, 4);
+  for (std::uint64_t k = 0; k < 5000; ++k) filter.insert(k * 13);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.maybe_contains(k++));
+  }
+}
+BENCHMARK(BM_BloomQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "cpu/trace.hpp"
+#include "smc/rowclone_alloc.hpp"
+#include "sys/system.hpp"
+#include "workloads/copyinit.hpp"
+
+namespace easydram::bench {
+
+/// Prints a figure/table banner matching the paper artifact being
+/// regenerated.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "Reproduces: " << paper_ref << "\n\n";
+}
+
+/// Outcome of one Copy/Init measurement.
+struct CopyInitResult {
+  std::int64_t measured_cycles = 0;  ///< Between the two markers.
+  std::int64_t rowclones = 0;
+  std::int64_t fallbacks = 0;
+};
+
+/// Builds a fresh EasyDRAM system for `cfg`, prepares the RowClone
+/// allocation plan (verification runs uncharged, as setup), pre-loads the
+/// source/pattern rows, and runs one Copy or Init workload variant.
+inline CopyInitResult run_copyinit_easydram(
+    const sys::SystemConfig& cfg, workloads::CopyInitParams params,
+    std::size_t rows, int verify_trials = 8) {
+  sys::EasyDramSystem sysm(cfg);
+  smc::RowClonePairTester tester(sysm.api(), verify_trials);
+  smc::RowCloneAllocator alloc(sysm.api(), sysm.clone_map(), tester);
+
+  std::vector<smc::CopyPlanEntry> copy_plan;
+  std::vector<smc::InitPlanEntry> init_plan;
+  if (params.kind == workloads::CopyInitParams::Kind::kCopy) {
+    copy_plan = alloc.plan_copy(rows);
+  } else {
+    init_plan = alloc.plan_init(rows);
+    // Pattern rows are initialized once at setup (uncharged): write the
+    // init pattern into each reserved source row.
+    std::vector<std::uint8_t> pattern(sysm.device().geometry().row_bytes, 0xA5);
+    for (const auto& e : init_plan) {
+      sysm.device().backdoor_write_row(e.pattern_src.bank, e.pattern_src.row,
+                                       pattern);
+    }
+  }
+  if (params.use_rowclone) sysm.enable_rowclone();
+
+  const smc::LinearMapper mapper(sysm.device().geometry());
+  workloads::CopyInitTrace trace(params, mapper, std::move(copy_plan),
+                                 std::move(init_plan));
+  const cpu::RunResult r = sysm.run(trace);
+
+  CopyInitResult out;
+  out.rowclones = r.rowclones;
+  out.fallbacks = r.rowclone_fallbacks;
+  if (r.markers.size() >= 2) {
+    out.measured_cycles = r.markers.back() - r.markers.front();
+  } else {
+    out.measured_cycles = r.cycles;
+  }
+  return out;
+}
+
+/// Formats a byte size like the paper's x axes (8K ... 16M).
+inline std::string fmt_size(std::uint64_t bytes) {
+  if (bytes >= (1u << 20)) return std::to_string(bytes >> 20) + "M";
+  return std::to_string(bytes >> 10) + "K";
+}
+
+}  // namespace easydram::bench

@@ -1,0 +1,75 @@
+// Extending EasyDRAM with a new scheduling policy: implement a scheduler in
+// ~20 lines of C++, plug it into the software memory controller, and
+// compare it against the stock FR-FCFS policy on a bank-parallel workload.
+// This is the paper's core usability claim — memory-controller changes are
+// ordinary C++ against EasyAPI, no HDL involved.
+
+#include <iostream>
+
+#include "sys/system.hpp"
+#include "workloads/builder.hpp"
+
+using namespace easydram;
+
+namespace {
+
+/// A deliberately row-buffer-blind policy: strict arrival order, ignoring
+/// open rows (plain FCFS written as a user extension).
+class StrictArrivalOrder final : public smc::Scheduler {
+ public:
+  std::optional<std::size_t> pick(const smc::RequestTable& table,
+                                  const smc::BankStateView& /*banks*/,
+                                  std::size_t& scanned) const override {
+    scanned = table.size();
+    if (table.empty()) return std::nullopt;
+    std::size_t oldest = 0;
+    for (std::size_t i = 1; i < table.size(); ++i) {
+      if (table.at(i).arrival_seq < table.at(oldest).arrival_seq) oldest = i;
+    }
+    return oldest;
+  }
+
+  std::string_view name() const override { return "StrictArrivalOrder"; }
+};
+
+std::int64_t run_with(const sys::SystemConfig& cfg) {
+  sys::EasyDramSystem sysm(cfg);
+  // Two conflicting rows in one bank, accesses interleaved: a row-buffer-
+  // aware policy drains the open row's requests before switching; a blind
+  // one ping-pongs between rows and pays PRE+ACT on nearly every access.
+  workloads::TraceBuilder b;
+  const std::uint64_t row_a = 0;               // Bank 0, row 0.
+  const std::uint64_t row_b = 8192;            // Bank 0, row 1.
+  for (int rep = 0; rep < 4000; ++rep) {
+    const std::uint64_t col = static_cast<std::uint64_t>(rep % 128) * 64;
+    b.load(row_a + col);
+    b.load(row_b + col);
+  }
+  cpu::VectorTrace trace(b.take());
+  return sysm.run(trace).cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Custom scheduler example\n========================\n\n";
+
+  sys::SystemConfig frfcfs = sys::jetson_nano_time_scaling();
+  const std::int64_t cycles_frfcfs = run_with(frfcfs);
+
+  sys::SystemConfig custom = sys::jetson_nano_time_scaling();
+  custom.scheduler_factory = [] {
+    return std::make_unique<StrictArrivalOrder>();
+  };
+  const std::int64_t cycles_custom = run_with(custom);
+
+  std::cout << "FR-FCFS:            " << cycles_frfcfs << " cycles\n"
+            << "StrictArrivalOrder: " << cycles_custom << " cycles\n"
+            << "FR-FCFS advantage:  "
+            << 100.0 * (static_cast<double>(cycles_custom) /
+                            static_cast<double>(cycles_frfcfs) -
+                        1.0)
+            << "% — row-buffer locality matters, and swapping the policy\n"
+               "took one C++ class and one config line.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: assemble an EasyDRAM system, run the paper's Listing-1-style
+// software memory controller against the modelled DDR4 chip, and serve a
+// few read requests end-to-end — first through the full-system backend,
+// then hand-driving the SMC loop so the EasyAPI surface is visible.
+
+#include <cstring>
+#include <iostream>
+
+#include "smc/controller.hpp"
+#include "sys/system.hpp"
+
+using namespace easydram;
+
+int main() {
+  std::cout << "EasyDRAM quickstart\n===================\n\n";
+
+  // --- Part 1: the full system as a memory backend --------------------------
+  // Default configuration: A57-class processor time-scaled from a 100 MHz
+  // FPGA clock, FR-FCFS software memory controller, DDR4-1333.
+  sys::EasyDramSystem sysm(sys::jetson_nano_time_scaling());
+
+  // Put recognizable data into DRAM through the test backdoor.
+  std::array<std::uint8_t, 64> line{};
+  for (std::size_t i = 0; i < 64; ++i) line[i] = static_cast<std::uint8_t>(i);
+  const std::uint64_t paddr = 2 * 8192;  // Bank 0, row 2 (linear mapping).
+  sysm.device().backdoor_write(sysm.api().get_addr_mapping(paddr), line);
+
+  // Issue a read at emulated processor cycle 100 and wait for the response.
+  const std::uint64_t id = sysm.submit_read(paddr, /*now=*/100);
+  const cpu::Completion done = sysm.wait(id);
+  std::cout << "Read of paddr 0x" << std::hex << paddr << std::dec
+            << " completed: issued at cycle 100, release tag "
+            << done.release_cycle << " -> latency "
+            << done.release_cycle - 100 << " emulated cycles ("
+            << (done.release_cycle - 100) / 1.43 << " ns at 1.43 GHz)\n\n";
+
+  // --- Part 2: the Listing-1 controller, hand-driven ------------------------
+  // The same C++ program a user writes for the real platform: wait for a
+  // request, translate the address, issue DRAM commands through DRAM
+  // Bender, return the data.
+  sys::EasyDramSystem sys2(sys::jetson_nano_time_scaling());
+  sys2.device().backdoor_write(sys2.api().get_addr_mapping(4096), line);
+
+  smc::SimpleReadController controller;  // Listing 1.
+  tile::Request req;
+  req.id = 1;
+  req.kind = tile::RequestKind::kRead;
+  req.paddr = 4096;
+  req.issue_proc_cycle = 0;
+  sys2.api().tile().incoming().push(req);
+
+  while (sys2.api().tile().outgoing().empty()) controller.step(sys2.api());
+  const tile::Response resp = sys2.api().tile().outgoing().pop();
+
+  std::cout << "Listing-1 controller served request " << resp.id
+            << "; data correct: "
+            << (std::memcmp(resp.data.data(), line.data(), 64) == 0 ? "yes" : "no")
+            << "; release tag " << resp.release_proc_cycle << "\n";
+  std::cout << "DRAM commands issued so far: ACT="
+            << sys2.device().commands_issued(dram::Command::kAct)
+            << " RD=" << sys2.device().commands_issued(dram::Command::kRead)
+            << "\n";
+  return 0;
+}

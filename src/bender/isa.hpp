@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dram/types.hpp"
+
+namespace easydram::bender {
+
+/// DRAM Bender register file size. Registers hold row/column operands so a
+/// compact program can sweep thousands of addresses (e.g. the tRCD profiler).
+inline constexpr std::uint32_t kNumRegisters = 8;
+
+/// Opcodes of the modelled DRAM Bender ISA.
+///
+/// The real DRAM Bender executes programs in an FPGA pipeline that issues
+/// one DDR command (or idles) per DRAM cycle; SLEEP provides cycle-exact
+/// inter-command delays and LOOP_BEGIN/LOOP_END give counted loops with
+/// register arithmetic. This subset covers every program the paper's case
+/// studies need.
+enum class Opcode : std::uint8_t {
+  kDdr,        ///< Issue a DDR command; occupies one DRAM cycle slot.
+  kSleep,      ///< Idle for `imm` DRAM cycles.
+  kSetReg,     ///< reg[a] = imm.
+  kAddReg,     ///< reg[a] += imm (wrapping).
+  kLoopBegin,  ///< Execute the loop body `imm` times; bodies may nest.
+  kLoopEnd,    ///< Close the innermost loop.
+  kEnd,        ///< Stop execution.
+};
+
+/// Operand source for a DDR instruction field: an immediate or a register.
+struct Operand {
+  std::uint32_t value = 0;
+  bool from_register = false;
+
+  static constexpr Operand imm(std::uint32_t v) { return Operand{v, false}; }
+  static constexpr Operand reg(std::uint32_t r) { return Operand{r, true}; }
+};
+
+/// One DRAM Bender instruction (fixed-size encoding, like the real ISA).
+struct Instruction {
+  Opcode op = Opcode::kEnd;
+  dram::Command cmd = dram::Command::kNop;  ///< kDdr only.
+  Operand bank;                             ///< kDdr only.
+  Operand row;                              ///< kDdr only.
+  Operand col;                              ///< kDdr only.
+  /// kDdr+kWrite: index into the program's write-data table.
+  std::uint32_t wdata_index = 0;
+  /// kDdr+kRead: capture returned data into the readback buffer.
+  bool capture = false;
+  /// kDdr: when true the engine delays the command until the device's
+  /// nominal timings allow it (the common case for regular accesses — in
+  /// the real platform the SMC computes these delays and encodes them as
+  /// SLEEPs; folding the computation into the engine keeps batches compact).
+  /// When false the command issues exactly at the cursor, which is how
+  /// DRAM techniques violate timings on purpose.
+  bool respect_nominal = true;
+  /// kDdr: minimum gap from the previous DDR command's issue time, in
+  /// picoseconds. Exact placement for techniques (e.g. a reduced-tRCD read
+  /// sets min_gap = tRCD_reduced after its ACT with respect_nominal=false).
+  std::int64_t min_gap_ps = 0;
+  /// kSleep: cycles; kSetReg/kAddReg: value; kLoopBegin: trip count.
+  std::uint64_t imm = 0;
+  /// kSetReg/kAddReg: destination register.
+  std::uint32_t reg = 0;
+};
+
+}  // namespace easydram::bender

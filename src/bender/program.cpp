@@ -1,0 +1,107 @@
+#include "bender/program.hpp"
+
+#include <cstring>
+
+#include "common/contracts.hpp"
+
+namespace easydram::bender {
+
+void Program::push(const Instruction& inst) {
+  EASYDRAM_EXPECTS(instructions_.size() < kCommandBufferCapacity);
+  instructions_.push_back(inst);
+}
+
+void Program::ddr(dram::Command cmd, const dram::DramAddress& a, bool capture,
+                  std::uint32_t wdata_index) {
+  Instruction inst;
+  inst.op = Opcode::kDdr;
+  inst.cmd = cmd;
+  inst.bank = Operand::imm(a.bank);
+  inst.row = Operand::imm(a.row);
+  inst.col = Operand::imm(a.col);
+  inst.capture = capture;
+  inst.wdata_index = wdata_index;
+  push(inst);
+}
+
+void Program::ddr_exact(dram::Command cmd, const dram::DramAddress& a,
+                        Picoseconds min_gap, bool capture,
+                        std::uint32_t wdata_index) {
+  EASYDRAM_EXPECTS(min_gap.count >= 0);
+  Instruction inst;
+  inst.op = Opcode::kDdr;
+  inst.cmd = cmd;
+  inst.bank = Operand::imm(a.bank);
+  inst.row = Operand::imm(a.row);
+  inst.col = Operand::imm(a.col);
+  inst.capture = capture;
+  inst.wdata_index = wdata_index;
+  inst.respect_nominal = false;
+  inst.min_gap_ps = min_gap.count;
+  push(inst);
+}
+
+void Program::sleep(std::uint64_t cycles) {
+  if (cycles == 0) return;
+  Instruction inst;
+  inst.op = Opcode::kSleep;
+  inst.imm = cycles;
+  push(inst);
+}
+
+void Program::sleep_at_least(Picoseconds duration, Picoseconds tck) {
+  EASYDRAM_EXPECTS(tck.count > 0);
+  if (duration.count <= 0) return;
+  const std::int64_t cycles = (duration.count + tck.count - 1) / tck.count;
+  sleep(static_cast<std::uint64_t>(cycles));
+}
+
+void Program::set_reg(std::uint32_t reg, std::uint64_t value) {
+  EASYDRAM_EXPECTS(reg < kNumRegisters);
+  Instruction inst;
+  inst.op = Opcode::kSetReg;
+  inst.reg = reg;
+  inst.imm = value;
+  push(inst);
+}
+
+void Program::add_reg(std::uint32_t reg, std::uint64_t delta) {
+  EASYDRAM_EXPECTS(reg < kNumRegisters);
+  Instruction inst;
+  inst.op = Opcode::kAddReg;
+  inst.reg = reg;
+  inst.imm = delta;
+  push(inst);
+}
+
+void Program::loop_begin(std::uint64_t count) {
+  Instruction inst;
+  inst.op = Opcode::kLoopBegin;
+  inst.imm = count;
+  push(inst);
+  ++open_loops_;
+}
+
+void Program::loop_end() {
+  EASYDRAM_EXPECTS(open_loops_ > 0);
+  Instruction inst;
+  inst.op = Opcode::kLoopEnd;
+  push(inst);
+  --open_loops_;
+}
+
+std::uint32_t Program::add_wdata(std::span<const std::uint8_t> data) {
+  EASYDRAM_EXPECTS(data.size() == 64);
+  std::array<std::uint8_t, 64> line{};
+  std::memcpy(line.data(), data.data(), 64);
+  wdata_.push_back(line);
+  return static_cast<std::uint32_t>(wdata_.size() - 1);
+}
+
+void Program::clear() {
+  instructions_.clear();
+  wdata_.clear();
+  open_loops_ = 0;
+}
+
+}  // namespace easydram::bender

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace easydram {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+///
+/// Contract checks stay enabled in release builds: the simulators in this
+/// repository are deterministic, so a violated contract always indicates a
+/// programming error worth a loud stop rather than silent corruption.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace easydram
+
+/// Precondition check (Core Guidelines I.5/I.6 style).
+#define EASYDRAM_EXPECTS(cond)                                                   \
+  do {                                                                           \
+    if (!(cond)) ::easydram::detail::contract_fail("Expects", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Postcondition check (Core Guidelines I.7/I.8 style).
+#define EASYDRAM_ENSURES(cond)                                                   \
+  do {                                                                           \
+    if (!(cond)) ::easydram::detail::contract_fail("Ensures", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace easydram {
+
+/// SplitMix64: tiny, fast, full-period 64-bit mixer. Used both as a seeding
+/// sequence and as a stateless hash for deterministic "physical" fields
+/// (e.g. per-row cell strength), so the same (seed, key) always yields the
+/// same value on every platform.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of a seed and up to three keys into a uniform 64-bit value.
+constexpr std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t a,
+                                 std::uint64_t b = 0, std::uint64_t c = 0) {
+  SplitMix64 sm(seed ^ (a * 0xA24BAED4963EE407ULL) ^ (b * 0x9FB21C651E98DF25ULL) ^
+                (c * 0xD6E8FEB86659FD93ULL));
+  return sm.next();
+}
+
+/// Uniform double in [0, 1) from a 64-bit value (53-bit mantissa method).
+constexpr double to_unit_double(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// xoshiro256**: the repository's sequential PRNG for workload generation.
+/// Deterministic given the seed; never seeded from wall-clock time.
+class Xoshiro256ss {
+ public:
+  explicit Xoshiro256ss(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    const __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  double next_double() { return to_unit_double(next()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace easydram

@@ -1,0 +1,59 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace easydram {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+double Summary::mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    EASYDRAM_EXPECTS(x > 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  EASYDRAM_EXPECTS(hi > lo);
+  EASYDRAM_EXPECTS(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_low(std::size_t bucket) const {
+  EASYDRAM_EXPECTS(bucket < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bucket) / static_cast<double>(counts_.size());
+}
+
+}  // namespace easydram

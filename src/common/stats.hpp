@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace easydram {
+
+/// Streaming summary of a series of samples: count, mean, min, max.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of strictly positive samples. Returns 0 for an empty span.
+double geomean(std::span<const double> xs);
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Fixed-bucket histogram over [lo, hi); samples outside are clamped into the
+/// first/last bucket. Used by characterization studies and tests.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count_at(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const { return total_; }
+  double bucket_low(std::size_t bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace easydram

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace easydram {
+
+/// Minimal aligned-column text table used by the benchmark harnesses to print
+/// the rows/series of each paper table and figure.
+class TextTable {
+ public:
+  /// Sets the header row; resets nothing else.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with one space of padding and a rule under the header.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `digits` digits after the decimal point.
+std::string fmt_fixed(double v, int digits);
+
+}  // namespace easydram

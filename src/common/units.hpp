@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+#include "common/contracts.hpp"
+
+namespace easydram {
+
+/// A point or span on a timeline, in picoseconds.
+///
+/// All device-level timing in the repository is integral picoseconds: DDR4
+/// timing parameters are multiples of fractional nanoseconds (e.g. tCK =
+/// 1.5 ns for DDR4-1333), and integer ps arithmetic keeps every simulator
+/// bit-deterministic across platforms.
+struct Picoseconds {
+  std::int64_t count = 0;
+
+  constexpr Picoseconds() = default;
+  constexpr explicit Picoseconds(std::int64_t ps) : count(ps) {}
+
+  constexpr auto operator<=>(const Picoseconds&) const = default;
+
+  constexpr Picoseconds operator+(Picoseconds o) const { return Picoseconds{count + o.count}; }
+  constexpr Picoseconds operator-(Picoseconds o) const { return Picoseconds{count - o.count}; }
+  constexpr Picoseconds& operator+=(Picoseconds o) { count += o.count; return *this; }
+  constexpr Picoseconds& operator-=(Picoseconds o) { count -= o.count; return *this; }
+  constexpr Picoseconds operator*(std::int64_t k) const { return Picoseconds{count * k}; }
+
+  constexpr double nanoseconds() const { return static_cast<double>(count) / 1e3; }
+  constexpr double microseconds() const { return static_cast<double>(count) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(count) / 1e12; }
+};
+
+namespace literals {
+constexpr Picoseconds operator""_ps(unsigned long long v) { return Picoseconds{static_cast<std::int64_t>(v)}; }
+constexpr Picoseconds operator""_ns(unsigned long long v) { return Picoseconds{static_cast<std::int64_t>(v) * 1000}; }
+constexpr Picoseconds operator""_us(unsigned long long v) { return Picoseconds{static_cast<std::int64_t>(v) * 1000 * 1000}; }
+constexpr Picoseconds operator""_ms(unsigned long long v) { return Picoseconds{static_cast<std::int64_t>(v) * 1000 * 1000 * 1000}; }
+}  // namespace literals
+
+/// A clock frequency in hertz. Converts between cycle counts and Picoseconds.
+struct Frequency {
+  std::int64_t hertz = 0;
+
+  constexpr Frequency() = default;
+  constexpr explicit Frequency(std::int64_t hz) : hertz(hz) {}
+
+  constexpr auto operator<=>(const Frequency&) const = default;
+
+  static constexpr Frequency megahertz(std::int64_t mhz) { return Frequency{mhz * 1'000'000}; }
+  static constexpr Frequency gigahertz(std::int64_t ghz) { return Frequency{ghz * 1'000'000'000}; }
+
+  /// Clock period. Exact only when 1e12 is divisible by `hertz`; all clock
+  /// frequencies used in this repository (50/100/666.67 MHz, 1/1.43 GHz)
+  /// are modelled through the cycle<->ps converters below instead, which
+  /// round deterministically.
+  constexpr Picoseconds period() const {
+    EASYDRAM_EXPECTS(hertz > 0);
+    return Picoseconds{1'000'000'000'000 / hertz};
+  }
+
+  /// Duration of `cycles` clock cycles, rounded to nearest picosecond.
+  constexpr Picoseconds cycles_to_ps(std::int64_t cycles) const {
+    EASYDRAM_EXPECTS(hertz > 0);
+    // cycles / hertz seconds = cycles * 1e12 / hertz ps. 128-bit to avoid overflow.
+    const __int128 num = static_cast<__int128>(cycles) * 1'000'000'000'000;
+    return Picoseconds{static_cast<std::int64_t>((num + hertz / 2) / hertz)};
+  }
+
+  /// Number of whole cycles that have *started* by time `t` (floor).
+  constexpr std::int64_t ps_to_cycles_floor(Picoseconds t) const {
+    EASYDRAM_EXPECTS(hertz > 0);
+    const __int128 num = static_cast<__int128>(t.count) * hertz;
+    return static_cast<std::int64_t>(num / 1'000'000'000'000);
+  }
+
+  /// Number of cycles needed to cover duration `t` (ceiling). This is the
+  /// conversion used when a latency expressed in real time must be charged
+  /// to a clocked domain: a partial cycle still occupies a full cycle.
+  constexpr std::int64_t ps_to_cycles_ceil(Picoseconds t) const {
+    EASYDRAM_EXPECTS(hertz > 0);
+    const __int128 num = static_cast<__int128>(t.count) * hertz;
+    const __int128 den = 1'000'000'000'000;
+    return static_cast<std::int64_t>((num + den - 1) / den);
+  }
+};
+
+}  // namespace easydram

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace easydram::cpu {
+
+/// Completion of a waited-on memory request.
+struct Completion {
+  /// Emulated processor cycle at which the response may be consumed (the
+  /// time-scaling release tag).
+  std::int64_t release_cycle = 0;
+  /// RowClone: whether the in-DRAM operation succeeded (false requests a
+  /// CPU fallback). Profiling: whether the reduced access was correct.
+  bool ok = true;
+};
+
+/// The memory system as seen by the core model. Implemented by the
+/// EasyDRAM full system (sys/) and by the Ramulator-like baseline.
+///
+/// Submission is non-blocking: requests carry the core's current emulated
+/// cycle and return an id. `wait` blocks (simulation-wise) until the
+/// request's response exists and returns its release cycle. Writes are
+/// posted; cores wait on them only at drain points.
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+
+  virtual std::uint64_t submit_read(std::uint64_t paddr, std::int64_t now) = 0;
+  virtual std::uint64_t submit_write(std::uint64_t paddr, std::int64_t now) = 0;
+  virtual std::uint64_t submit_rowclone(std::uint64_t src_paddr,
+                                        std::uint64_t dst_paddr,
+                                        std::int64_t now) = 0;
+  virtual std::uint64_t submit_profile(std::uint64_t paddr, Picoseconds trcd,
+                                       std::int64_t now) = 0;
+
+  virtual Completion wait(std::uint64_t id) = 0;
+};
+
+}  // namespace easydram::cpu

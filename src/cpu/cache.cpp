@@ -1,0 +1,124 @@
+#include "cpu/cache.hpp"
+
+namespace easydram::cpu {
+
+namespace {
+
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  EASYDRAM_EXPECTS(cfg.line_bytes > 0 && is_pow2(cfg.line_bytes));
+  EASYDRAM_EXPECTS(cfg.ways > 0);
+  EASYDRAM_EXPECTS(cfg.size_bytes % (static_cast<std::uint64_t>(cfg.ways) * cfg.line_bytes) == 0);
+  num_sets_ = cfg.size_bytes / (static_cast<std::uint64_t>(cfg.ways) * cfg.line_bytes);
+  EASYDRAM_EXPECTS(num_sets_ > 0 && is_pow2(num_sets_));
+  ways_.assign(num_sets_ * cfg.ways, Way{});
+}
+
+std::size_t Cache::set_of(std::uint64_t line) const {
+  return static_cast<std::size_t>((line / cfg_.line_bytes) & (num_sets_ - 1));
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t line) const {
+  return (line / cfg_.line_bytes) / num_sets_;
+}
+
+std::uint64_t Cache::line_of(std::size_t set, std::uint64_t tag) const {
+  return (tag * num_sets_ + set) * cfg_.line_bytes;
+}
+
+bool Cache::access(std::uint64_t line) {
+  EASYDRAM_EXPECTS(line % cfg_.line_bytes == 0);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Way& way = ways_[set * cfg_.ways + w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++lru_clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+bool Cache::probe(std::uint64_t line) const {
+  EASYDRAM_EXPECTS(line % cfg_.line_bytes == 0);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    const Way& way = ways_[set * cfg_.ways + w];
+    if (way.valid && way.tag == tag) return true;
+  }
+  return false;
+}
+
+FillResult Cache::fill(std::uint64_t line) {
+  EASYDRAM_EXPECTS(line % cfg_.line_bytes == 0);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+
+  Way* victim = nullptr;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Way& way = ways_[set * cfg_.ways + w];
+    if (way.valid && way.tag == tag) {
+      // Already present (e.g. racing fills); just refresh LRU.
+      way.lru = ++lru_clock_;
+      return FillResult{};
+    }
+    if (!way.valid) {
+      victim = &way;
+    }
+  }
+  FillResult result;
+  if (victim == nullptr) {
+    victim = &ways_[set * cfg_.ways];
+    for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+      Way& way = ways_[set * cfg_.ways + w];
+      if (way.lru < victim->lru) victim = &way;
+    }
+    result.evicted = true;
+    result.evicted_dirty = victim->dirty;
+    result.evicted_line = line_of(set, victim->tag);
+  }
+  victim->valid = true;
+  victim->dirty = false;
+  victim->tag = tag;
+  victim->lru = ++lru_clock_;
+  return result;
+}
+
+void Cache::mark_dirty(std::uint64_t line) {
+  EASYDRAM_EXPECTS(line % cfg_.line_bytes == 0);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Way& way = ways_[set * cfg_.ways + w];
+    if (way.valid && way.tag == tag) {
+      way.dirty = true;
+      return;
+    }
+  }
+  EASYDRAM_EXPECTS(!"mark_dirty on a line that is not present");
+}
+
+Cache::FlushResult Cache::flush(std::uint64_t line) {
+  EASYDRAM_EXPECTS(line % cfg_.line_bytes == 0);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Way& way = ways_[set * cfg_.ways + w];
+    if (way.valid && way.tag == tag) {
+      FlushResult r{true, way.dirty};
+      way.valid = false;
+      way.dirty = false;
+      return r;
+    }
+  }
+  return FlushResult{};
+}
+
+}  // namespace easydram::cpu

@@ -1,0 +1,81 @@
+#pragma once
+
+#include "cpu/core.hpp"
+
+namespace easydram::cpu {
+
+/// ARM Cortex A57 as on the NVIDIA Jetson Nano (§6): 1.43 GHz, 2-wide
+/// out-of-order with modest memory-level parallelism.
+inline CoreConfig cortex_a57_core() {
+  CoreConfig c;
+  c.emulated_clock = Frequency{1'430'000'000};
+  c.issue_width = 2;
+  c.mlp = 4;
+  c.store_buffer = 24;
+  c.l1_latency = 3;
+  c.l2_latency = 18;
+  c.fill_to_use = 6;
+  // MMIO trigger + completion polling at GHz-class clocks: a handful of
+  // uncached register accesses, each a platform round-trip costing
+  // hundreds of processor cycles.
+  c.rowclone_trigger_cycles = 2300;
+  // A57 detects full-line store streams (memset/memcpy) and skips RFOs.
+  c.write_streaming = true;
+  return c;
+}
+
+/// The Jetson Nano's real cache hierarchy (L2 = 2 MiB), used by the Fig. 8
+/// "real board" reference curve.
+inline CacheHierConfig jetson_nano_caches() {
+  CacheHierConfig h;
+  h.l1 = CacheConfig{32 * 1024, 2, 64};
+  h.l2 = CacheConfig{2 * 1024 * 1024, 16, 64};
+  return h;
+}
+
+/// EasyDRAM's FPGA build of the same system: identical core model but a
+/// 512 KiB L2 (§6 notes this difference explicitly).
+inline CacheHierConfig easydram_caches() {
+  CacheHierConfig h;
+  h.l1 = CacheConfig{32 * 1024, 2, 64};
+  h.l2 = CacheConfig{512 * 1024, 8, 64};
+  return h;
+}
+
+/// The PiDRAM-style modelled system (§7.2): simple in-order core at 50 MHz
+/// with blocking loads and a tiny store buffer. Used by the
+/// No-Time-Scaling configuration.
+inline CoreConfig pidram_inorder_core() {
+  CoreConfig c;
+  c.emulated_clock = Frequency::megahertz(50);
+  c.issue_width = 1;
+  c.mlp = 1;
+  c.store_buffer = 2;
+  c.l1_latency = 2;
+  c.l2_latency = 12;
+  c.fill_to_use = 2;
+  c.blocking_loads = true;
+  // The MMIO trigger: a handful of uncached stores; at 50 MHz the FPGA
+  // interconnect round-trip is a few processor cycles.
+  c.rowclone_trigger_cycles = 12;
+  // The PiDRAM-style copy/init microbenchmark paths operate on flushed /
+  // uncached buffers, so full-line stores go straight to memory.
+  c.write_streaming = true;
+  return c;
+}
+
+/// The §6 validation target: a BOOM-like core emulated at 1 GHz.
+inline CoreConfig boom_1ghz_core() {
+  CoreConfig c;
+  c.emulated_clock = Frequency::gigahertz(1);
+  c.issue_width = 2;
+  c.mlp = 4;
+  c.store_buffer = 16;
+  c.l1_latency = 2;
+  c.l2_latency = 14;
+  c.fill_to_use = 4;
+  c.write_streaming = true;
+  return c;
+}
+
+}  // namespace easydram::cpu

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace easydram::cpu {
+
+/// Operations in a core execution trace.
+enum class Op : std::uint8_t {
+  kLoad,           ///< Load whose value feeds no address (overlappable).
+  kLoadDependent,  ///< Load on the critical path (e.g. pointer chase).
+  kStore,
+  /// Full-cache-line store in a detected streaming pattern (memset/memcpy
+  /// destinations). Cores with write-streaming support (e.g. Cortex A57)
+  /// skip the read-for-ownership and post the line directly; others treat
+  /// it as a plain store.
+  kStoreStream,
+  kFlush,     ///< Cache-line flush via the memory-mapped register (§7.1).
+  kRowClone,  ///< Trigger an in-DRAM copy of addr -> addr2.
+  kProfile,   ///< Issue a tRCD profiling request for addr.
+  kDrain,     ///< Memory barrier: wait for all outstanding requests.
+  kMarker,    ///< Snapshot the cycle counter into RunResult::markers.
+};
+
+/// One trace record: `gap_instructions` non-memory instructions execute
+/// before the operation itself.
+struct TraceRecord {
+  Op op = Op::kLoad;
+  std::uint32_t gap_instructions = 0;
+  std::uint64_t addr = 0;
+  std::uint64_t addr2 = 0;           ///< kRowClone destination.
+  Picoseconds profile_trcd{};        ///< kProfile only.
+};
+
+/// Pull-based trace generator. `last_rowclone_ok` feeds back the outcome of
+/// the most recent kRowClone so generators can emit CPU-fallback accesses,
+/// exactly as the paper's software falls back to load/store copies.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  virtual bool next(TraceRecord& out, bool last_rowclone_ok) = 0;
+};
+
+/// A trace replayed from a pre-recorded vector (ignores feedback).
+class VectorTrace final : public TraceSource {
+ public:
+  explicit VectorTrace(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {}
+
+  bool next(TraceRecord& out, bool /*last_rowclone_ok*/) override {
+    if (cursor_ >= records_.size()) return false;
+    out = records_[cursor_++];
+    return true;
+  }
+
+  void rewind() { cursor_ = 0; }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace easydram::cpu

@@ -1,0 +1,395 @@
+#include "dram/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace easydram::dram {
+
+namespace {
+
+constexpr Picoseconds kNegInf{std::numeric_limits<std::int64_t>::min() / 4};
+
+/// ACT->PRE gaps below this fraction of tRAS count as an "early precharge",
+/// the first half of the FPM RowClone ACT->PRE->ACT pattern. Real chips need
+/// the gap to be a handful of tCK; half of tRAS separates that cleanly from
+/// legal operation.
+constexpr double kRowClonePreFraction = 0.5;
+/// PRE->ACT gaps below this fraction of tRP complete the RowClone pattern.
+constexpr double kRowCloneActFraction = 0.5;
+
+Picoseconds max_ps(std::initializer_list<Picoseconds> xs) {
+  Picoseconds m = kNegInf;
+  for (Picoseconds x : xs) m = std::max(m, x);
+  return m;
+}
+
+}  // namespace
+
+std::string_view to_string(Command c) {
+  switch (c) {
+    case Command::kAct: return "ACT";
+    case Command::kPre: return "PRE";
+    case Command::kPreAll: return "PREA";
+    case Command::kRead: return "RD";
+    case Command::kWrite: return "WR";
+    case Command::kRef: return "REF";
+    case Command::kNop: return "NOP";
+  }
+  return "?";
+}
+
+DramDevice::DramDevice(const Geometry& geo, const TimingParams& timing,
+                       const VariationConfig& variation)
+    : geo_(geo),
+      timing_(timing),
+      variation_(geo, variation),
+      banks_(geo.num_banks()),
+      store_(geo.num_banks()),
+      last_act_in_group_(geo.bank_groups, kNegInf),
+      last_act_any_(kNegInf),
+      last_col_in_group_(geo.bank_groups, kNegInf),
+      last_col_any_(kNegInf),
+      last_wr_data_end_any_(kNegInf),
+      wr_data_end_in_group_(geo.bank_groups, kNegInf),
+      data_bus_free_(kNegInf),
+      ref_busy_until_(kNegInf),
+      now_(Picoseconds{0}) {
+  for (auto& b : banks_) {
+    b.act_time = b.pre_time = b.last_rd = b.last_wr = kNegInf;
+    b.wr_data_end = b.rd_data_end = b.early_pre_at = kNegInf;
+  }
+}
+
+DramDevice::RowData& DramDevice::row_data(std::uint32_t bank, std::uint32_t row) {
+  auto& bank_store = store_[bank];
+  if (bank_store.empty()) bank_store.resize(geo_.rows_per_bank);
+  auto& slot = bank_store[row];
+  if (!slot) {
+    slot = std::make_unique<RowData>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+const DramDevice::RowData* DramDevice::row_data_if_present(std::uint32_t bank,
+                                                           std::uint32_t row) const {
+  const auto& bank_store = store_[bank];
+  if (bank_store.empty() || !bank_store[row]) return nullptr;
+  return bank_store[row].get();
+}
+
+void DramDevice::corrupt_line(std::uint32_t bank, std::uint32_t row,
+                              std::uint32_t col, std::uint64_t salt) {
+  RowData& rd = row_data(bank, row);
+  SplitMix64 sm(hash_mix(variation_.config().seed ^ 0xBADBADBAD, bank, row,
+                         (static_cast<std::uint64_t>(col) << 32) | salt));
+  // Flip a deterministic set of bits across the 64-byte line. Weak-tRCD
+  // failures in real chips flip a few bits per line; eight flips is enough
+  // for any data-comparison test to detect the failure reliably.
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t r = sm.next();
+    const std::uint32_t byte = col * geo_.col_bytes + static_cast<std::uint32_t>(r % 64);
+    rd[byte] ^= static_cast<std::uint8_t>(1u << ((r >> 8) % 8));
+  }
+}
+
+void DramDevice::corrupt_row(std::uint32_t bank, std::uint32_t row, std::uint64_t salt) {
+  for (std::uint32_t col = 0; col < geo_.cols_per_row(); ++col) {
+    corrupt_line(bank, row, col, salt ^ 0x517EC10E);
+  }
+}
+
+Picoseconds DramDevice::earliest_act(std::uint32_t bank) const {
+  const BankState& b = banks_[bank];
+  Picoseconds t = max_ps({b.pre_time + timing_.tRP, b.act_time + timing_.tRC,
+                          last_act_in_group_[geo_.bank_group_of(bank)] + timing_.tRRD_L,
+                          last_act_any_ + timing_.tRRD_S, ref_busy_until_});
+  if (act_window_.size() >= 4) t = std::max(t, act_window_.front() + timing_.tFAW);
+  return std::max(t, now_);
+}
+
+Picoseconds DramDevice::earliest_rdwr(std::uint32_t bank, bool is_write) const {
+  const BankState& b = banks_[bank];
+  const std::uint32_t group = geo_.bank_group_of(bank);
+  Picoseconds t = max_ps({b.act_time + timing_.tRCD,
+                          last_col_in_group_[group] + timing_.tCCD_L,
+                          last_col_any_ + timing_.tCCD_S});
+  if (!is_write) {
+    t = max_ps({t, wr_data_end_in_group_[group] + timing_.tWTR_L,
+                last_wr_data_end_any_ + timing_.tWTR_S,
+                data_bus_free_ - timing_.tCL});
+  } else {
+    t = std::max(t, data_bus_free_ - timing_.tCWL);
+  }
+  return std::max(t, now_);
+}
+
+Picoseconds DramDevice::earliest_pre(std::uint32_t bank) const {
+  const BankState& b = banks_[bank];
+  return std::max(max_ps({b.act_time + timing_.tRAS, b.last_rd + timing_.tRTP,
+                          b.wr_data_end + timing_.tWR}),
+                  now_);
+}
+
+Picoseconds DramDevice::earliest_legal(Command c, const DramAddress& a) const {
+  switch (c) {
+    case Command::kAct:
+      return earliest_act(a.bank);
+    case Command::kRead:
+      return earliest_rdwr(a.bank, /*is_write=*/false);
+    case Command::kWrite:
+      return earliest_rdwr(a.bank, /*is_write=*/true);
+    case Command::kPre:
+      return earliest_pre(a.bank);
+    case Command::kPreAll: {
+      Picoseconds t = now_;
+      for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
+        if (banks_[bank].active) t = std::max(t, earliest_pre(bank));
+      }
+      return t;
+    }
+    case Command::kRef: {
+      Picoseconds t = std::max(now_, ref_busy_until_);
+      for (const BankState& b : banks_) t = std::max(t, b.pre_time + timing_.tRP);
+      return t;
+    }
+    case Command::kNop:
+      return now_;
+  }
+  return now_;
+}
+
+std::optional<std::uint32_t> DramDevice::open_row(std::uint32_t bank) const {
+  EASYDRAM_EXPECTS(bank < banks_.size());
+  if (!banks_[bank].active) return std::nullopt;
+  return banks_[bank].row;
+}
+
+std::int64_t DramDevice::refreshes_due(Picoseconds at) const {
+  return at.count / timing_.tREFI.count;
+}
+
+IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
+                              std::span<const std::uint8_t> wdata) {
+  EASYDRAM_EXPECTS(at >= now_);
+  IssueResult res;
+  now_ = at;
+  ++cmd_counts_[static_cast<std::size_t>(c)];
+
+  switch (c) {
+    case Command::kNop:
+      return res;
+
+    case Command::kAct: {
+      EASYDRAM_EXPECTS(a.bank < geo_.num_banks() && a.row < geo_.rows_per_bank);
+      BankState& b = banks_[a.bank];
+      if (b.active) res.violations |= kBankNotIdle;
+      if (at < b.pre_time + timing_.tRP) res.violations |= kTrp;
+      if (at < b.act_time + timing_.tRC) res.violations |= kTrc;
+      const std::uint32_t group = geo_.bank_group_of(a.bank);
+      if (at < last_act_in_group_[group] + timing_.tRRD_L) res.violations |= kTrrd;
+      if (at < last_act_any_ + timing_.tRRD_S) res.violations |= kTrrd;
+      if (act_window_.size() >= 4 && at < act_window_.front() + timing_.tFAW) {
+        res.violations |= kTfaw;
+      }
+      if (at < ref_busy_until_) res.violations |= kTrfc;
+
+      // RowClone: this ACT completes ACT(src) -> early PRE -> early ACT(dst).
+      if (b.early_pre_pending) {
+        const Picoseconds gap = at - b.early_pre_at;
+        const auto threshold = Picoseconds{static_cast<std::int64_t>(
+            kRowCloneActFraction * static_cast<double>(timing_.tRP.count))};
+        if (gap < threshold) {
+          res.rowclone_attempted = true;
+          const std::uint32_t src = b.early_pre_row;
+          const std::uint32_t dst = a.row;
+          res.rowclone_success = variation_.rowclone_pair_ok(a.bank, src, dst);
+          if (res.rowclone_success) {
+            if (src != dst) {
+              const RowData* src_data = row_data_if_present(a.bank, src);
+              RowData& dst_data = row_data(a.bank, dst);
+              if (src_data != nullptr) {
+                dst_data = *src_data;
+              } else {
+                dst_data.fill(0);
+              }
+            }
+          } else {
+            corrupt_row(a.bank, dst, static_cast<std::uint64_t>(at.count));
+          }
+        }
+        b.early_pre_pending = false;
+      }
+
+      b.active = true;
+      b.row = a.row;
+      b.act_time = at;
+      b.last_rd = b.last_wr = kNegInf;
+      b.wr_data_end = b.rd_data_end = kNegInf;
+      last_act_in_group_[group] = at;
+      last_act_any_ = at;
+      act_window_.push_back(at);
+      while (act_window_.size() > 4) act_window_.pop_front();
+      return res;
+    }
+
+    case Command::kPre: {
+      EASYDRAM_EXPECTS(a.bank < geo_.num_banks());
+      BankState& b = banks_[a.bank];
+      if (!b.active) {
+        res.violations |= kBankNotActive;
+        return res;
+      }
+      if (at < b.act_time + timing_.tRAS) res.violations |= kTras;
+      if (at < b.last_rd + timing_.tRTP) res.violations |= kTrtp;
+      if (at < b.wr_data_end + timing_.tWR) res.violations |= kTwr;
+
+      const Picoseconds act_to_pre = at - b.act_time;
+      const auto early_threshold = Picoseconds{static_cast<std::int64_t>(
+          kRowClonePreFraction * static_cast<double>(timing_.tRAS.count))};
+      if (act_to_pre < early_threshold) {
+        b.early_pre_pending = true;
+        b.early_pre_row = b.row;
+        b.early_pre_at = at;
+      } else {
+        b.early_pre_pending = false;
+      }
+      b.active = false;
+      b.pre_time = at;
+      return res;
+    }
+
+    case Command::kPreAll: {
+      for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
+        BankState& b = banks_[bank];
+        if (!b.active) continue;
+        if (at < b.act_time + timing_.tRAS) res.violations |= kTras;
+        if (at < b.last_rd + timing_.tRTP) res.violations |= kTrtp;
+        if (at < b.wr_data_end + timing_.tWR) res.violations |= kTwr;
+        b.active = false;
+        b.pre_time = at;
+        b.early_pre_pending = false;
+      }
+      return res;
+    }
+
+    case Command::kRead: {
+      EASYDRAM_EXPECTS(geo_.contains(a));
+      BankState& b = banks_[a.bank];
+      res.has_data = true;
+      if (!b.active || b.row != a.row) {
+        // Reading a closed (or different) row returns garbage.
+        res.violations |= kBankNotActive;
+        res.data_reliable = false;
+        SplitMix64 sm(hash_mix(0xDEAD, a.bank, a.row, a.col));
+        for (auto& byte : res.data) byte = static_cast<std::uint8_t>(sm.next());
+        return res;
+      }
+      const std::uint32_t group = geo_.bank_group_of(a.bank);
+      if (at < last_col_in_group_[group] + timing_.tCCD_L) res.violations |= kTccd;
+      if (at < last_col_any_ + timing_.tCCD_S) res.violations |= kTccd;
+      if (at < wr_data_end_in_group_[group] + timing_.tWTR_L) res.violations |= kTwtr;
+      if (at < last_wr_data_end_any_ + timing_.tWTR_S) res.violations |= kTwtr;
+      if (at + timing_.tCL < data_bus_free_) res.violations |= kBusConflict;
+
+      const Picoseconds effective_trcd = at - b.act_time;
+      if (effective_trcd < timing_.tRCD) res.violations |= kTrcd;
+      res.data_reliable =
+          effective_trcd >= variation_.line_min_trcd(a.bank, a.row, a.col);
+      if (!res.data_reliable) {
+        // The sense amplifier latched a wrong value; it is both returned and
+        // restored into the cells.
+        corrupt_line(a.bank, a.row, a.col, static_cast<std::uint64_t>(at.count));
+      }
+      const RowData* rd = row_data_if_present(a.bank, a.row);
+      if (rd != nullptr) {
+        std::memcpy(res.data.data(), rd->data() + a.col * geo_.col_bytes, 64);
+      } else {
+        res.data.fill(0);
+      }
+
+      b.last_rd = at;
+      b.rd_data_end = at + timing_.read_data_latency();
+      last_col_in_group_[group] = at;
+      last_col_any_ = at;
+      data_bus_free_ = std::max(data_bus_free_, at + timing_.read_data_latency());
+      return res;
+    }
+
+    case Command::kWrite: {
+      EASYDRAM_EXPECTS(geo_.contains(a));
+      EASYDRAM_EXPECTS(wdata.size() == 64);
+      BankState& b = banks_[a.bank];
+      if (!b.active || b.row != a.row) {
+        res.violations |= kBankNotActive;
+        return res;  // Write to a closed row is dropped.
+      }
+      const std::uint32_t group = geo_.bank_group_of(a.bank);
+      if (at < last_col_in_group_[group] + timing_.tCCD_L) res.violations |= kTccd;
+      if (at < last_col_any_ + timing_.tCCD_S) res.violations |= kTccd;
+      if (at - b.act_time < timing_.tRCD) res.violations |= kTrcd;
+      if (at + timing_.tCWL < data_bus_free_) res.violations |= kBusConflict;
+
+      RowData& rd = row_data(a.bank, a.row);
+      std::memcpy(rd.data() + a.col * geo_.col_bytes, wdata.data(), 64);
+
+      b.last_wr = at;
+      b.wr_data_end = at + timing_.write_data_latency();
+      wr_data_end_in_group_[group] = b.wr_data_end;
+      last_wr_data_end_any_ = b.wr_data_end;
+      last_col_in_group_[group] = at;
+      last_col_any_ = at;
+      data_bus_free_ = std::max(data_bus_free_, b.wr_data_end);
+      return res;
+    }
+
+    case Command::kRef: {
+      for (const BankState& b : banks_) {
+        if (b.active) res.violations |= kRefreshNotIdle;
+        if (at < b.pre_time + timing_.tRP) res.violations |= kTrp;
+      }
+      if (at < ref_busy_until_) res.violations |= kTrfc;
+      ref_busy_until_ = at + timing_.tRFC;
+      ++refreshes_issued_;
+      return res;
+    }
+  }
+  return res;
+}
+
+void DramDevice::backdoor_write(const DramAddress& a,
+                                std::span<const std::uint8_t> data) {
+  EASYDRAM_EXPECTS(geo_.contains(a));
+  EASYDRAM_EXPECTS(data.size() == 64);
+  RowData& rd = row_data(a.bank, a.row);
+  std::memcpy(rd.data() + a.col * geo_.col_bytes, data.data(), 64);
+}
+
+void DramDevice::backdoor_read(const DramAddress& a,
+                               std::span<std::uint8_t> out) const {
+  EASYDRAM_EXPECTS(geo_.contains(a));
+  EASYDRAM_EXPECTS(out.size() == 64);
+  const RowData* rd = row_data_if_present(a.bank, a.row);
+  if (rd != nullptr) {
+    std::memcpy(out.data(), rd->data() + a.col * geo_.col_bytes, 64);
+  } else {
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+  }
+}
+
+void DramDevice::backdoor_write_row(std::uint32_t bank, std::uint32_t row,
+                                    std::span<const std::uint8_t> data) {
+  EASYDRAM_EXPECTS(bank < geo_.num_banks() && row < geo_.rows_per_bank);
+  EASYDRAM_EXPECTS(data.size() == geo_.row_bytes);
+  RowData& rd = row_data(bank, row);
+  std::memcpy(rd.data(), data.data(), geo_.row_bytes);
+}
+
+std::int64_t DramDevice::commands_issued(Command c) const {
+  return cmd_counts_[static_cast<std::size_t>(c)];
+}
+
+}  // namespace easydram::dram

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/geometry.hpp"
+#include "dram/timing.hpp"
+#include "dram/types.hpp"
+#include "dram/variation.hpp"
+
+namespace easydram::dram {
+
+/// Nominal-timing violations detected when a command is issued. DRAM
+/// techniques violate timings *on purpose*, so a violation never rejects a
+/// command; it selects the behavioural model (e.g. reduced-tRCD reads may
+/// corrupt data, an early-PRE/early-ACT pattern triggers RowClone) and is
+/// reported so tests and strict controllers can assert legality.
+enum Violation : std::uint32_t {
+  kNone = 0,
+  kBankNotIdle = 1u << 0,    ///< ACT on a bank with an open row.
+  kBankNotActive = 1u << 1,  ///< RD/WR/PRE on an idle bank.
+  kTrcd = 1u << 2,
+  kTrp = 1u << 3,
+  kTras = 1u << 4,
+  kTrc = 1u << 5,
+  kTccd = 1u << 6,
+  kTrrd = 1u << 7,
+  kTfaw = 1u << 8,
+  kTwr = 1u << 9,
+  kTrtp = 1u << 10,
+  kTwtr = 1u << 11,
+  kTrfc = 1u << 12,
+  kRefreshNotIdle = 1u << 13,  ///< REF with an open bank.
+  kBusConflict = 1u << 14,     ///< Data bus occupied by an earlier burst.
+  kClToShort = 1u << 15,       ///< RD before the previous burst completed.
+};
+
+/// Result of issuing one command.
+struct IssueResult {
+  std::uint32_t violations = kNone;
+  /// Data returned by kRead. Valid (possibly corrupted) even under timing
+  /// violations, mirroring a real chip that always returns *something*.
+  std::array<std::uint8_t, 64> data{};
+  bool has_data = false;
+  /// kRead only: false when the access used an effective tRCD below the
+  /// line's minimum reliable value and returned corrupted data.
+  bool data_reliable = true;
+  /// ACT only: this activate completed an ACT->PRE->ACT RowClone pattern.
+  bool rowclone_attempted = false;
+  /// Whether the attempted RowClone copied the source row correctly.
+  bool rowclone_success = false;
+};
+
+/// Behavioural + timing model of one DDR4 rank with process variation.
+///
+/// Commands carry absolute issue timestamps (integral picoseconds); the
+/// caller (DRAM Bender's interpreter, or a test) owns the timeline. The
+/// device checks nominal timings, reports violations, and models the
+/// out-of-spec behaviours the paper's techniques rely on:
+///
+///  * A read whose ACT->RD distance is below the nominal tRCD succeeds iff
+///    the distance is at least the line's minimum reliable tRCD (per the
+///    VariationModel); otherwise the returned data AND the stored row are
+///    deterministically corrupted (the sense amplifier latches and restores
+///    the wrong value).
+///  * The command pattern ACT(src) -> early PRE -> early ACT(dst) attempts a
+///    Fast-Parallel-Mode RowClone: if the pair is clonable (same subarray
+///    and the variation model agrees), dst's row buffer and cells take src's
+///    content; otherwise dst is deterministically corrupted.
+class DramDevice {
+ public:
+  DramDevice(const Geometry& geo, const TimingParams& timing,
+             const VariationConfig& variation);
+
+  const Geometry& geometry() const { return geo_; }
+  const TimingParams& timing() const { return timing_; }
+  const VariationModel& variation() const { return variation_; }
+
+  /// Issues `c` at absolute time `at`. Time must be non-decreasing across
+  /// calls. `wdata` must hold 64 bytes for kWrite and is ignored otherwise.
+  IssueResult issue(Command c, const DramAddress& a, Picoseconds at,
+                    std::span<const std::uint8_t> wdata = {});
+
+  /// Earliest time at which `c` could be issued to `a` without violating
+  /// any *nominal* timing parameter. Schedulers use this to compose legal
+  /// command sequences; techniques ignore it deliberately.
+  Picoseconds earliest_legal(Command c, const DramAddress& a) const;
+
+  /// Open row of `bank`, if any.
+  std::optional<std::uint32_t> open_row(std::uint32_t bank) const;
+
+  /// Time of the last issued command (the device clock high-water mark).
+  Picoseconds now() const { return now_; }
+
+  /// Number of REF commands the controller should have issued by `at` to
+  /// keep every row refreshed (at / tREFI).
+  std::int64_t refreshes_due(Picoseconds at) const;
+  std::int64_t refreshes_issued() const { return refreshes_issued_; }
+
+  /// Test/initialization backdoor: reads or writes stored cells without
+  /// timing or state effects. Unwritten cells read as zero.
+  void backdoor_write(const DramAddress& a, std::span<const std::uint8_t> data);
+  void backdoor_read(const DramAddress& a, std::span<std::uint8_t> out) const;
+  /// Copies a whole row (used by test fixtures).
+  void backdoor_write_row(std::uint32_t bank, std::uint32_t row,
+                          std::span<const std::uint8_t> data);
+
+  /// Statistics: total commands issued per command kind.
+  std::int64_t commands_issued(Command c) const;
+
+ private:
+  struct BankState {
+    bool active = false;
+    std::uint32_t row = 0;
+    Picoseconds act_time;       ///< When the current/most recent ACT was issued.
+    Picoseconds pre_time;       ///< When the most recent PRE was issued.
+    Picoseconds last_rd;        ///< Most recent RD command time.
+    Picoseconds last_wr;        ///< Most recent WR command time.
+    Picoseconds wr_data_end;    ///< End of the most recent write burst.
+    Picoseconds rd_data_end;    ///< End of the most recent read burst.
+    // RowClone detection: set when the bank saw ACT(row) then an early PRE.
+    bool early_pre_pending = false;
+    std::uint32_t early_pre_row = 0;
+    Picoseconds early_pre_at;
+  };
+
+  using RowData = std::array<std::uint8_t, 8192>;
+
+  RowData& row_data(std::uint32_t bank, std::uint32_t row);
+  const RowData* row_data_if_present(std::uint32_t bank, std::uint32_t row) const;
+
+  void corrupt_line(std::uint32_t bank, std::uint32_t row, std::uint32_t col,
+                    std::uint64_t salt);
+  void corrupt_row(std::uint32_t bank, std::uint32_t row, std::uint64_t salt);
+
+  Picoseconds earliest_act(std::uint32_t bank) const;
+  Picoseconds earliest_rdwr(std::uint32_t bank, bool is_write) const;
+  Picoseconds earliest_pre(std::uint32_t bank) const;
+
+  Geometry geo_;
+  TimingParams timing_;
+  VariationModel variation_;
+
+  std::vector<BankState> banks_;
+  // Sparse storage: per-bank vector of lazily allocated rows.
+  std::vector<std::vector<std::unique_ptr<RowData>>> store_;
+
+  // Rank-level state.
+  std::deque<Picoseconds> act_window_;          ///< Last ACT times (tFAW).
+  std::vector<Picoseconds> last_act_in_group_;  ///< Per bank group (tRRD_L).
+  Picoseconds last_act_any_;
+  std::vector<Picoseconds> last_col_in_group_;  ///< Per bank group (tCCD_L).
+  Picoseconds last_col_any_;
+  Picoseconds last_wr_data_end_any_;            ///< For tWTR.
+  std::vector<Picoseconds> wr_data_end_in_group_;
+  Picoseconds data_bus_free_;
+  Picoseconds ref_busy_until_;
+  std::int64_t refreshes_issued_ = 0;
+
+  Picoseconds now_;
+  std::array<std::int64_t, 7> cmd_counts_{};
+};
+
+}  // namespace easydram::dram

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/contracts.hpp"
+#include "dram/types.hpp"
+
+namespace easydram::dram {
+
+/// Physical organization of the modelled rank.
+///
+/// The defaults match the paper's case-study memory system (§7.2): a single
+/// channel, single rank of DDR4 with 4 bank groups x 4 banks and 32 K rows
+/// per bank; a row holds 8 KiB at rank level and a column access moves one
+/// 64-byte cache line. Rows are grouped into subarrays of 512 rows, the
+/// granularity at which RowClone (an intra-subarray operation) can move data.
+struct Geometry {
+  std::uint32_t bank_groups = 4;
+  std::uint32_t banks_per_group = 4;
+  std::uint32_t rows_per_bank = 32768;
+  std::uint32_t row_bytes = 8192;
+  std::uint32_t col_bytes = 64;
+  std::uint32_t rows_per_subarray = 512;
+
+  constexpr std::uint32_t num_banks() const { return bank_groups * banks_per_group; }
+  constexpr std::uint32_t cols_per_row() const { return row_bytes / col_bytes; }
+  constexpr std::uint32_t subarrays_per_bank() const {
+    return rows_per_bank / rows_per_subarray;
+  }
+  constexpr std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(num_banks()) * rows_per_bank * row_bytes;
+  }
+
+  constexpr std::uint32_t bank_group_of(std::uint32_t bank) const {
+    return bank / banks_per_group;
+  }
+  constexpr std::uint32_t subarray_of(std::uint32_t row) const {
+    return row / rows_per_subarray;
+  }
+  constexpr bool same_subarray(std::uint32_t row_a, std::uint32_t row_b) const {
+    return subarray_of(row_a) == subarray_of(row_b);
+  }
+
+  /// Validates an address against this geometry.
+  constexpr bool contains(const DramAddress& a) const {
+    return a.bank < num_banks() && a.row < rows_per_bank && a.col < cols_per_row();
+  }
+};
+
+}  // namespace easydram::dram

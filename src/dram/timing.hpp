@@ -1,0 +1,93 @@
+#pragma once
+
+#include "common/units.hpp"
+
+namespace easydram::dram {
+
+/// DDR4 timing parameters, all in picoseconds.
+///
+/// Field names follow JESD79-4. The presets below round to the vendor
+/// datasheet values the paper cites (nominal tRCD of the tested Micron
+/// EDY4016A module is 13.5 ns).
+struct TimingParams {
+  Picoseconds tCK{};     ///< DRAM clock period.
+  Picoseconds tRCD{};    ///< ACT to internal RD/WR delay.
+  Picoseconds tRP{};     ///< PRE to ACT delay.
+  Picoseconds tRAS{};    ///< ACT to PRE minimum.
+  Picoseconds tRC{};     ///< ACT to ACT (same bank) minimum.
+  Picoseconds tCL{};     ///< RD to first data (CAS latency).
+  Picoseconds tCWL{};    ///< WR to first data.
+  Picoseconds tBL{};     ///< Data burst duration (BL8 = 4 tCK).
+  Picoseconds tWR{};     ///< End of write data to PRE.
+  Picoseconds tRTP{};    ///< RD to PRE.
+  Picoseconds tWTR_S{};  ///< Write burst end to RD, different bank group.
+  Picoseconds tWTR_L{};  ///< Write burst end to RD, same bank group.
+  Picoseconds tCCD_S{};  ///< Column to column, different bank group.
+  Picoseconds tCCD_L{};  ///< Column to column, same bank group.
+  Picoseconds tRRD_S{};  ///< ACT to ACT, different bank group.
+  Picoseconds tRRD_L{};  ///< ACT to ACT, same bank group.
+  Picoseconds tFAW{};    ///< Four-activate window.
+  Picoseconds tRFC{};    ///< Refresh cycle time.
+  Picoseconds tREFI{};   ///< Average refresh interval.
+
+  /// Read latency from RD command to last data beat on the bus.
+  constexpr Picoseconds read_data_latency() const { return tCL + tBL; }
+  /// Write latency from WR command to last data beat.
+  constexpr Picoseconds write_data_latency() const { return tCWL + tBL; }
+};
+
+/// DDR4-1333-class timings (the paper's case-study module runs at
+/// 1333 MT/s; tCK = 1.5 ns). tRCD/tCL/tRP = 13.5 ns match the cited
+/// datasheet nominal.
+constexpr TimingParams ddr4_1333() {
+  using namespace easydram::literals;
+  TimingParams t;
+  t.tCK = 1500_ps;
+  t.tRCD = 13500_ps;
+  t.tRP = 13500_ps;
+  t.tRAS = 36000_ps;
+  t.tRC = 49500_ps;
+  t.tCL = 13500_ps;
+  t.tCWL = 12000_ps;
+  t.tBL = 6000_ps;      // 4 tCK
+  t.tWR = 15000_ps;
+  t.tRTP = 7500_ps;
+  t.tWTR_S = 3750_ps;
+  t.tWTR_L = 7500_ps;
+  t.tCCD_S = 6000_ps;   // 4 tCK
+  t.tCCD_L = 7500_ps;   // 5 tCK
+  t.tRRD_S = 6000_ps;
+  t.tRRD_L = 7500_ps;
+  t.tFAW = 30000_ps;
+  t.tRFC = 260000_ps;   // 4 Gb device
+  t.tREFI = 7800000_ps;
+  return t;
+}
+
+/// DDR4-2400-class timings, used by configuration-sweep tests.
+constexpr TimingParams ddr4_2400() {
+  using namespace easydram::literals;
+  TimingParams t;
+  t.tCK = 833_ps;
+  t.tRCD = 13320_ps;
+  t.tRP = 13320_ps;
+  t.tRAS = 32000_ps;
+  t.tRC = 45320_ps;
+  t.tCL = 13320_ps;
+  t.tCWL = 10000_ps;
+  t.tBL = 3332_ps;
+  t.tWR = 15000_ps;
+  t.tRTP = 7500_ps;
+  t.tWTR_S = 2500_ps;
+  t.tWTR_L = 7500_ps;
+  t.tCCD_S = 3332_ps;
+  t.tCCD_L = 5000_ps;
+  t.tRRD_S = 3300_ps;
+  t.tRRD_L = 4900_ps;
+  t.tFAW = 21000_ps;
+  t.tRFC = 260000_ps;
+  t.tREFI = 7800000_ps;
+  return t;
+}
+
+}  // namespace easydram::dram

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace easydram::dram {
+
+/// DDR4 commands modelled by the device. SREF/PDE power states are out of
+/// scope for the paper's experiments and are not modelled.
+enum class Command : std::uint8_t {
+  kAct,   ///< Activate: open a row in a bank.
+  kPre,   ///< Precharge: close the open row of one bank.
+  kPreAll,///< Precharge all banks in the rank.
+  kRead,  ///< Column read (BL8, one 64-byte cache line).
+  kWrite, ///< Column write (BL8, one 64-byte cache line).
+  kRef,   ///< All-bank auto refresh.
+  kNop,   ///< Deselect / timing filler.
+};
+
+std::string_view to_string(Command c);
+
+/// A fully decoded DRAM coordinate. `bank` is the flat bank index
+/// (bank_group * banks_per_group + bank_in_group); `col` addresses one
+/// 64-byte column burst within the row.
+struct DramAddress {
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+
+  bool operator==(const DramAddress&) const = default;
+};
+
+}  // namespace easydram::dram

@@ -1,0 +1,74 @@
+#include "dram/variation.hpp"
+
+#include <cmath>
+
+namespace easydram::dram {
+
+namespace {
+
+constexpr std::uint32_t kRowsPerGroup = 64;  // Fig. 12 heatmap granularity.
+constexpr std::uint32_t kLatticeStep = 8;
+
+double lattice_value(std::uint64_t seed, std::uint32_t bank, std::uint32_t u,
+                     std::uint32_t v) {
+  return to_unit_double(hash_mix(seed, bank, u, v));
+}
+
+}  // namespace
+
+double VariationModel::smooth_noise(std::uint32_t bank, std::uint32_t row) const {
+  // Map the row to 2D physical-layout-like coordinates: position within its
+  // 64-row group (x) and the group index (y), then bilinearly interpolate a
+  // hashed lattice with 8-unit spacing so that weak areas span contiguous
+  // regions of rows and groups, as in the paper's heatmap.
+  const std::uint32_t x = row % kRowsPerGroup;
+  const std::uint32_t y = row / kRowsPerGroup;
+  const std::uint32_t x0 = x / kLatticeStep;
+  const std::uint32_t y0 = y / kLatticeStep;
+  const double fx = static_cast<double>(x % kLatticeStep) / kLatticeStep;
+  const double fy = static_cast<double>(y % kLatticeStep) / kLatticeStep;
+
+  const double v00 = lattice_value(cfg_.seed, bank, x0, y0);
+  const double v10 = lattice_value(cfg_.seed, bank, x0 + 1, y0);
+  const double v01 = lattice_value(cfg_.seed, bank, x0, y0 + 1);
+  const double v11 = lattice_value(cfg_.seed, bank, x0 + 1, y0 + 1);
+
+  const double top = v00 * (1.0 - fx) + v10 * fx;
+  const double bot = v01 * (1.0 - fx) + v11 * fx;
+  return top * (1.0 - fy) + bot * fy;
+}
+
+Picoseconds VariationModel::row_min_trcd(std::uint32_t bank, std::uint32_t row) const {
+  EASYDRAM_EXPECTS(bank < geo_.num_banks() && row < geo_.rows_per_bank);
+  const double n = smooth_noise(bank, row);
+  const double shaped = std::pow(n, cfg_.shape);
+  const double span = static_cast<double>(cfg_.max_trcd.count - cfg_.min_trcd.count);
+  return Picoseconds{cfg_.min_trcd.count +
+                     static_cast<std::int64_t>(shaped * span)};
+}
+
+Picoseconds VariationModel::line_min_trcd(std::uint32_t bank, std::uint32_t row,
+                                          std::uint32_t col) const {
+  EASYDRAM_EXPECTS(geo_.contains(DramAddress{bank, row, col}));
+  const Picoseconds row_value = row_min_trcd(bank, row);
+  // One deterministic "anchor" line per row carries the row's full value so
+  // the row minimum is exactly the max over its lines.
+  const std::uint32_t anchor =
+      static_cast<std::uint32_t>(hash_mix(cfg_.seed ^ 0xA11C4, bank, row) %
+                                 geo_.cols_per_row());
+  if (col == anchor) return row_value;
+  const double u = to_unit_double(hash_mix(cfg_.seed ^ 0x11E5, bank, row, col));
+  return Picoseconds{row_value.count -
+                     static_cast<std::int64_t>(u * static_cast<double>(cfg_.line_jitter.count))};
+}
+
+bool VariationModel::rowclone_pair_ok(std::uint32_t bank, std::uint32_t src_row,
+                                      std::uint32_t dst_row) const {
+  if (!geo_.same_subarray(src_row, dst_row)) return false;
+  if (src_row == dst_row) return true;
+  const double u =
+      to_unit_double(hash_mix(cfg_.seed ^ 0xC10E, bank, src_row, dst_row));
+  return u < cfg_.rowclone_pair_success;
+}
+
+}  // namespace easydram::dram

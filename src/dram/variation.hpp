@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dram/geometry.hpp"
+
+namespace easydram::dram {
+
+/// Configuration of the synthetic process-variation model.
+///
+/// The paper characterizes a real Micron DDR4 module (Fig. 12): every row
+/// operates below the nominal tRCD of 13.5 ns, 84.5 % of cache lines are
+/// "strong" (reliable at <= 9.0 ns) and weak lines cluster spatially. We have
+/// no real chip, so this model synthesizes a deterministic per-row minimum
+/// reliable tRCD field with the same statistics: a hash-seeded, spatially
+/// smoothed noise field shaped so the strong fraction matches the paper.
+struct VariationConfig {
+  std::uint64_t seed = 0x5AFA2125;
+
+  /// Lower bound of the min-reliable-tRCD field.
+  Picoseconds min_trcd{8000};
+  /// Upper bound of the field (must stay below nominal tRCD: the paper
+  /// observes that *all* rows work below the 13.5 ns nominal).
+  Picoseconds max_trcd{10600};
+  /// Shaping exponent: larger values skew the field toward min_trcd,
+  /// raising the strong fraction. Calibrated so P(row <= 9.0 ns) ~ 0.845.
+  double shape = 3.05;
+  /// Per-cache-line downward jitter from the row value (the row's minimum
+  /// reliable tRCD is the max over its lines).
+  Picoseconds line_jitter{800};
+
+  /// Probability that an intra-subarray (src, dst) row pair supports
+  /// reliable RowClone. The paper does not report the measured fraction;
+  /// its Init speedups (36.7x NoTS / 1.8x TS, both fallback-sensitive)
+  /// imply only ~1% of fixed-source pairs fall back.
+  double rowclone_pair_success = 0.99;
+};
+
+/// Deterministic synthetic DRAM process variation: per-line minimum reliable
+/// tRCD and per-pair RowClone feasibility. All queries are pure functions of
+/// (seed, coordinates) so that "the chip" behaves identically across runs,
+/// which is what makes the paper's 1000-trial clonability test meaningful.
+class VariationModel {
+ public:
+  VariationModel(const Geometry& geo, const VariationConfig& cfg)
+      : geo_(geo), cfg_(cfg) {}
+
+  const VariationConfig& config() const { return cfg_; }
+
+  /// Minimum tRCD (ps) at which every cache line of `row` reads reliably.
+  Picoseconds row_min_trcd(std::uint32_t bank, std::uint32_t row) const;
+
+  /// Minimum reliable tRCD of one cache line. Never exceeds the row value;
+  /// at least one line per row equals the row value.
+  Picoseconds line_min_trcd(std::uint32_t bank, std::uint32_t row,
+                            std::uint32_t col) const;
+
+  /// Whether a RowClone from `src_row` to `dst_row` inside `bank` reliably
+  /// copies data. Always false across subarray boundaries (FPM RowClone is
+  /// an intra-subarray operation).
+  bool rowclone_pair_ok(std::uint32_t bank, std::uint32_t src_row,
+                        std::uint32_t dst_row) const;
+
+ private:
+  /// Smooth noise in [0,1] over the bank's (row-in-group, group) plane;
+  /// bilinear interpolation of a hashed lattice makes weak regions cluster.
+  double smooth_noise(std::uint32_t bank, std::uint32_t row) const;
+
+  Geometry geo_;
+  VariationConfig cfg_;
+};
+
+}  // namespace easydram::dram

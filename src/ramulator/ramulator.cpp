@@ -1,0 +1,357 @@
+#include "ramulator/ramulator.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+
+namespace easydram::ramulator {
+
+namespace {
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+}
+
+RamulatorSim::RamulatorSim(const RamulatorConfig& cfg)
+    : cfg_(cfg), banks_(cfg.geometry.num_banks()) {
+  next_ref_ = cfg_.timing.tREFI;
+}
+
+dram::DramAddress RamulatorSim::map(std::uint64_t paddr) const {
+  const auto& geo = cfg_.geometry;
+  const std::uint64_t line = (paddr / 64) % (geo.capacity_bytes() / 64);
+  dram::DramAddress a;
+  a.bank = static_cast<std::uint32_t>(line % geo.num_banks());
+  const std::uint64_t upper = line / geo.num_banks();
+  a.col = static_cast<std::uint32_t>(upper % geo.cols_per_row());
+  a.row = static_cast<std::uint32_t>((upper / geo.cols_per_row()) % geo.rows_per_bank);
+  return a;
+}
+
+std::size_t RamulatorSim::pick_frfcfs(const std::vector<MemRequest>& queue) const {
+  std::size_t oldest = kNpos;
+  std::size_t oldest_hit = kNpos;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const MemRequest& r = queue[i];
+    if (oldest == kNpos || r.seq < queue[oldest].seq) oldest = i;
+    const BankState& b = banks_[r.addr.bank];
+    const bool hit = !r.is_rowclone && b.open && b.row == r.addr.row;
+    if (hit && (oldest_hit == kNpos || r.seq < queue[oldest_hit].seq)) oldest_hit = i;
+  }
+  return oldest_hit != kNpos ? oldest_hit : oldest;
+}
+
+bool RamulatorSim::try_advance_request(MemRequest& req, Picoseconds now, bool& done) {
+  const dram::TimingParams& t = cfg_.timing;
+  BankState& b = banks_[req.addr.bank];
+  done = false;
+
+  if (req.is_rowclone) {
+    if (b.open) {
+      if (now < b.pre_ok) return false;
+      b.open = false;
+      b.act_ok = std::max(b.act_ok, now + t.tRP);
+      return true;
+    }
+    if (now < b.act_ok || now < rank_busy_until_) return false;
+    // Idealized in-DRAM copy: ACT->PRE->ACT plus full restore + precharge.
+    const Picoseconds finish = now + t.tCK * 2 + t.tRAS + t.tRP;
+    b.act_ok = std::max(b.act_ok, finish);
+    completions_.emplace_back(finish + cfg_.rowclone_overhead, req.id);
+    ++stats_.rowclones;
+    done = true;
+    return true;
+  }
+
+  if (b.open && b.row == req.addr.row) {
+    if (now < b.col_ok) return false;
+    const Picoseconds lead = req.is_write ? t.tCWL : t.tCL;
+    if (now + lead < bus_free_) return false;
+    const Picoseconds data_end = now + lead + t.tBL;
+    bus_free_ = data_end;
+    b.col_ok = now + t.tCCD_L;
+    b.pre_ok = std::max(b.pre_ok, req.is_write ? data_end + t.tWR : now + t.tRTP);
+    if (!req.is_write) completions_.emplace_back(data_end, req.id);
+    ++stats_.row_hits;
+    done = true;
+    return true;
+  }
+
+  if (b.open) {
+    if (now < b.pre_ok) return false;
+    b.open = false;
+    b.act_ok = std::max(b.act_ok, now + t.tRP);
+    return true;
+  }
+
+  // Closed bank: activate.
+  if (now < b.act_ok || now < rank_busy_until_) return false;
+  if (act_window_.size() >= 4 && now < act_window_.front() + t.tFAW) return false;
+  if (!act_window_.empty() && now < act_window_.back() + t.tRRD_S) return false;
+  b.open = true;
+  b.row = req.addr.row;
+  const Picoseconds trcd =
+      cfg_.trcd_of ? cfg_.trcd_of(req.addr.bank, req.addr.row) : t.tRCD;
+  b.col_ok = now + trcd;
+  b.pre_ok = now + t.tRAS;
+  b.act_ok = now + t.tRC;
+  act_window_.push_back(now);
+  while (act_window_.size() > 4) act_window_.erase(act_window_.begin());
+  ++stats_.row_misses;
+  return true;
+}
+
+bool RamulatorSim::issue_one_command(Picoseconds now) {
+  const dram::TimingParams& t = cfg_.timing;
+  if (now < last_cmd_ + t.tCK) return false;
+
+  // Refresh has priority when due: close banks, then refresh the rank.
+  if (now >= next_ref_) {
+    for (BankState& b : banks_) {
+      if (!b.open) continue;
+      if (now < b.pre_ok) return false;
+      b.open = false;
+      b.act_ok = std::max(b.act_ok, now + t.tRP);
+      last_cmd_ = now;
+      return true;
+    }
+    if (now < rank_busy_until_) return false;
+    rank_busy_until_ = now + t.tRFC;
+    next_ref_ += t.tREFI;
+    last_cmd_ = now;
+    return true;
+  }
+
+  // Write drain when reads are absent or writes pile up.
+  const bool drain_writes =
+      read_queue_.empty() || write_queue_.size() >= cfg_.write_queue_depth - 4;
+  auto& queue = drain_writes && !write_queue_.empty() ? write_queue_ : read_queue_;
+  if (queue.empty()) return false;
+
+  const std::size_t pick = pick_frfcfs(queue);
+  EASYDRAM_ENSURES(pick != kNpos);
+  bool done = false;
+  if (!try_advance_request(queue[pick], now, done)) return false;
+  if (done) queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+  last_cmd_ = now;
+  return true;
+}
+
+void RamulatorSim::tick_memory(Picoseconds now) {
+  // One command slot per DRAM cycle; a CPU tick is shorter than tCK, so a
+  // single attempt per CPU tick saturates the command bus.
+  issue_one_command(now);
+}
+
+RamStats RamulatorSim::run(cpu::TraceSource& trace) {
+  stats_ = RamStats{};
+  cpu::Cache llc(cfg_.llc);
+
+  std::int64_t cycle = 0;
+  std::uint64_t next_id = 1;
+  std::unordered_set<std::uint64_t> inflight;
+  std::int64_t stall_until = 0;
+  std::uint64_t stall_on_id = 0;
+
+  cpu::TraceRecord rec;
+  bool have_rec = false;
+  std::uint32_t gap_left = 0;
+  bool trace_done = false;
+
+  const auto enqueue_read = [&](const dram::DramAddress& a) {
+    MemRequest r;
+    r.id = next_id++;
+    r.addr = a;
+    r.seq = seq_++;
+    read_queue_.push_back(r);
+    inflight.insert(r.id);
+    ++stats_.mem_reads;
+    return r.id;
+  };
+  const auto enqueue_write = [&](const dram::DramAddress& a) {
+    MemRequest r;
+    r.id = next_id++;
+    r.addr = a;
+    r.is_write = true;
+    r.seq = seq_++;
+    write_queue_.push_back(r);
+    ++stats_.mem_writes;
+  };
+
+  int idle_guard = 0;
+  while (true) {
+    const Picoseconds now = cfg_.cpu_clock.cycles_to_ps(cycle);
+    tick_memory(now);
+
+    // Harvest ready completions.
+    for (std::size_t i = 0; i < completions_.size();) {
+      if (completions_[i].first <= now) {
+        inflight.erase(completions_[i].second);
+        if (stall_on_id == completions_[i].second) stall_on_id = 0;
+        completions_[i] = completions_.back();
+        completions_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    bool progressed = false;
+    std::uint32_t budget = cfg_.retire_width;
+    while (budget > 0) {
+      if (cycle < stall_until) break;
+      if (stall_on_id != 0 && inflight.contains(stall_on_id)) break;
+
+      if (!have_rec) {
+        if (trace_done || stats_.instructions >= cfg_.max_instructions) {
+          trace_done = true;
+          break;
+        }
+        have_rec = trace.next(rec, /*last_rowclone_ok=*/true);
+        if (!have_rec) {
+          trace_done = true;
+          break;
+        }
+        gap_left = rec.gap_instructions;
+      }
+
+      if (gap_left > 0) {
+        const std::uint32_t spend = std::min(budget, gap_left);
+        gap_left -= spend;
+        budget -= spend;
+        stats_.instructions += spend;
+        progressed = true;
+        continue;
+      }
+
+      const std::uint64_t line = rec.addr & ~std::uint64_t{63};
+      bool consumed = true;
+      switch (rec.op) {
+        case cpu::Op::kLoad:
+        case cpu::Op::kLoadDependent: {
+          ++stats_.loads;
+          if (llc.access(line)) {
+            if (rec.op == cpu::Op::kLoadDependent) stall_until = cycle + cfg_.llc_latency;
+            break;
+          }
+          ++stats_.llc_misses;
+          if (inflight.size() >= cfg_.mshrs ||
+              read_queue_.size() >= cfg_.read_queue_depth ||
+              write_queue_.size() >= cfg_.write_queue_depth) {
+            --stats_.loads;
+            --stats_.llc_misses;
+            consumed = false;
+            break;
+          }
+          const cpu::FillResult fill = llc.fill(line);
+          if (fill.evicted && fill.evicted_dirty) enqueue_write(map(fill.evicted_line));
+          const std::uint64_t id = enqueue_read(map(line));
+          if (rec.op == cpu::Op::kLoadDependent) stall_on_id = id;
+          break;
+        }
+
+        case cpu::Op::kStoreStream:  // The simple core has no streaming mode.
+        case cpu::Op::kStore: {
+          ++stats_.stores;
+          if (llc.access(line)) {
+            llc.mark_dirty(line);
+            break;
+          }
+          ++stats_.llc_misses;
+          if (inflight.size() >= cfg_.mshrs ||
+              read_queue_.size() >= cfg_.read_queue_depth ||
+              write_queue_.size() >= cfg_.write_queue_depth) {
+            --stats_.stores;
+            --stats_.llc_misses;
+            consumed = false;
+            break;
+          }
+          const cpu::FillResult fill = llc.fill(line);
+          if (fill.evicted && fill.evicted_dirty) enqueue_write(map(fill.evicted_line));
+          enqueue_read(map(line));  // RFO, non-blocking.
+          llc.mark_dirty(line);
+          break;
+        }
+
+        case cpu::Op::kFlush: {
+          if (write_queue_.size() >= cfg_.write_queue_depth) {
+            consumed = false;
+            break;
+          }
+          const cpu::Cache::FlushResult f = llc.flush(line);
+          if (f.was_dirty) enqueue_write(map(line));
+          break;
+        }
+
+        case cpu::Op::kRowClone: {
+          if (read_queue_.size() >= cfg_.read_queue_depth) {
+            consumed = false;
+            break;
+          }
+          MemRequest r;
+          r.id = next_id++;
+          r.addr = map(rec.addr2 & ~std::uint64_t{63});
+          r.is_rowclone = true;
+          r.seq = seq_++;
+          read_queue_.push_back(r);
+          inflight.insert(r.id);
+          stall_on_id = r.id;
+          break;
+        }
+
+        case cpu::Op::kProfile: {
+          // Served as a nominal read in the baseline.
+          if (inflight.size() >= cfg_.mshrs ||
+              read_queue_.size() >= cfg_.read_queue_depth) {
+            consumed = false;
+            break;
+          }
+          stall_on_id = enqueue_read(map(line));
+          break;
+        }
+
+        case cpu::Op::kDrain: {
+          if (!inflight.empty() || !write_queue_.empty()) {
+            consumed = false;
+            break;
+          }
+          break;
+        }
+
+        case cpu::Op::kMarker:
+          if (!inflight.empty() || !write_queue_.empty()) {
+            consumed = false;
+            break;
+          }
+          stats_.markers.push_back(cycle);
+          break;
+      }
+
+      if (!consumed) break;
+      ++stats_.instructions;
+      --budget;
+      have_rec = false;
+      progressed = true;
+    }
+
+    ++cycle;
+
+    const bool memory_idle = inflight.empty() && read_queue_.empty() &&
+                             write_queue_.empty() && completions_.empty();
+    if (trace_done && !have_rec && memory_idle && stall_on_id == 0 &&
+        cycle >= stall_until) {
+      break;
+    }
+
+    // Livelock guard: tolerate long stalls (memory latency, drains) but
+    // abort if nothing moves for an implausible stretch.
+    if (progressed || !completions_.empty()) {
+      idle_guard = 0;
+    } else {
+      EASYDRAM_EXPECTS(++idle_guard < 10'000'000);
+    }
+  }
+
+  stats_.cycles = cycle;
+  return stats_;
+}
+
+}  // namespace easydram::ramulator

@@ -1,0 +1,46 @@
+#include "smc/addr_map.hpp"
+
+#include "common/contracts.hpp"
+
+namespace easydram::smc {
+
+dram::DramAddress LinearMapper::to_dram(std::uint64_t paddr) const {
+  EASYDRAM_EXPECTS(paddr % 64 == 0);
+  EASYDRAM_EXPECTS(paddr < geo_.capacity_bytes());
+  const std::uint64_t line = paddr / geo_.col_bytes;
+  const std::uint64_t cols = geo_.cols_per_row();
+  dram::DramAddress a;
+  a.col = static_cast<std::uint32_t>(line % cols);
+  const std::uint64_t row_linear = line / cols;
+  a.row = static_cast<std::uint32_t>(row_linear % geo_.rows_per_bank);
+  a.bank = static_cast<std::uint32_t>(row_linear / geo_.rows_per_bank);
+  return a;
+}
+
+std::uint64_t LinearMapper::to_physical(const dram::DramAddress& a) const {
+  EASYDRAM_EXPECTS(geo_.contains(a));
+  const std::uint64_t row_linear =
+      static_cast<std::uint64_t>(a.bank) * geo_.rows_per_bank + a.row;
+  return (row_linear * geo_.cols_per_row() + a.col) * geo_.col_bytes;
+}
+
+dram::DramAddress LineInterleavedMapper::to_dram(std::uint64_t paddr) const {
+  EASYDRAM_EXPECTS(paddr % 64 == 0);
+  EASYDRAM_EXPECTS(paddr < geo_.capacity_bytes());
+  const std::uint64_t line = paddr / geo_.col_bytes;
+  dram::DramAddress a;
+  a.bank = static_cast<std::uint32_t>(line % geo_.num_banks());
+  const std::uint64_t upper = line / geo_.num_banks();
+  a.col = static_cast<std::uint32_t>(upper % geo_.cols_per_row());
+  a.row = static_cast<std::uint32_t>(upper / geo_.cols_per_row());
+  return a;
+}
+
+std::uint64_t LineInterleavedMapper::to_physical(const dram::DramAddress& a) const {
+  EASYDRAM_EXPECTS(geo_.contains(a));
+  const std::uint64_t upper =
+      static_cast<std::uint64_t>(a.row) * geo_.cols_per_row() + a.col;
+  return (upper * geo_.num_banks() + a.bank) * geo_.col_bytes;
+}
+
+}  // namespace easydram::smc

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dram/geometry.hpp"
+#include "dram/types.hpp"
+
+namespace easydram::smc {
+
+/// Physical-to-DRAM address translation (EasyAPI's mapper family, §7.1).
+///
+/// Mappers are invertible so that both the processor-side allocation code
+/// and the software memory controller can convert between a physical
+/// address and a <bank, row, column> triplet, as the paper requires for
+/// solving RowClone's alignment problem.
+class AddressMapper {
+ public:
+  virtual ~AddressMapper() = default;
+
+  /// Maps the physical address of a 64-byte-aligned cache line.
+  virtual dram::DramAddress to_dram(std::uint64_t paddr) const = 0;
+
+  /// Inverse of to_dram (returns the line's base physical address).
+  virtual std::uint64_t to_physical(const dram::DramAddress& a) const = 0;
+
+  virtual const dram::Geometry& geometry() const = 0;
+};
+
+/// Row-linear mapping: consecutive physical 8 KiB blocks are consecutive
+/// rows of the same bank; banks follow each other. Keeps DRAM rows (and
+/// whole subarrays) physically contiguous, which is the allocator-friendly
+/// layout the RowClone case study uses.
+class LinearMapper final : public AddressMapper {
+ public:
+  explicit LinearMapper(const dram::Geometry& geo) : geo_(geo) {}
+
+  dram::DramAddress to_dram(std::uint64_t paddr) const override;
+  std::uint64_t to_physical(const dram::DramAddress& a) const override;
+  const dram::Geometry& geometry() const override { return geo_; }
+
+ private:
+  dram::Geometry geo_;
+};
+
+/// Line-interleaved mapping: consecutive cache lines stripe across banks
+/// (bank bits just above the line offset), the conventional layout for
+/// bank-level parallelism. Used by the scheduler-focused experiments.
+class LineInterleavedMapper final : public AddressMapper {
+ public:
+  explicit LineInterleavedMapper(const dram::Geometry& geo) : geo_(geo) {}
+
+  dram::DramAddress to_dram(std::uint64_t paddr) const override;
+  std::uint64_t to_physical(const dram::DramAddress& a) const override;
+  const dram::Geometry& geometry() const override { return geo_; }
+
+ private:
+  dram::Geometry geo_;
+};
+
+}  // namespace easydram::smc

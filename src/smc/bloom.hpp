@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace easydram::smc {
+
+/// Bloom filter over DRAM row identifiers, used (as in RAIDR) to track weak
+/// rows for the tRCD-reduction technique (§8.2). Weak rows are the *keys*,
+/// so a false positive merely costs performance (a strong row accessed with
+/// nominal tRCD), never correctness.
+class BloomFilter {
+ public:
+  /// `bits` is rounded up to a multiple of 64. `hashes` classic k.
+  BloomFilter(std::size_t bits, std::size_t hashes, std::uint64_t seed = 0xB100F)
+      : words_((bits + 63) / 64, 0), hashes_(hashes), seed_(seed) {
+    EASYDRAM_EXPECTS(bits > 0);
+    EASYDRAM_EXPECTS(hashes > 0 && hashes <= 16);
+  }
+
+  void insert(std::uint64_t key) {
+    for (std::size_t i = 0; i < hashes_; ++i) {
+      const std::uint64_t bit = bit_index(key, i);
+      words_[bit / 64] |= (1ULL << (bit % 64));
+    }
+    ++inserted_;
+  }
+
+  /// True when the key *may* be present (no false negatives).
+  bool maybe_contains(std::uint64_t key) const {
+    for (std::size_t i = 0; i < hashes_; ++i) {
+      const std::uint64_t bit = bit_index(key, i);
+      if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+    }
+    return true;
+  }
+
+  std::size_t size_bits() const { return words_.size() * 64; }
+  std::size_t inserted_keys() const { return inserted_; }
+
+  /// Serialized filter contents: what the host "loads into the SMC before
+  /// emulation begins" (§8.2).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::uint64_t bit_index(std::uint64_t key, std::size_t i) const {
+    return hash_mix(seed_, key, i) % (words_.size() * 64);
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t hashes_;
+  std::uint64_t seed_;
+  std::size_t inserted_ = 0;
+};
+
+}  // namespace easydram::smc

@@ -1,0 +1,211 @@
+#include "smc/controller.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace easydram::smc {
+
+namespace {
+
+/// Deterministic data pattern for profiling requests: a line-unique pattern
+/// so any corrupted bit is detected by comparison.
+std::array<std::uint8_t, 64> profile_pattern(std::uint64_t paddr) {
+  std::array<std::uint8_t, 64> p{};
+  SplitMix64 sm(paddr ^ 0x0F11E5ULL);
+  for (auto& b : p) b = static_cast<std::uint8_t>(sm.next());
+  return p;
+}
+
+}  // namespace
+
+MemoryController::MemoryController(ControllerOptions options)
+    : options_(std::move(options)), table_(options_.request_table_capacity) {
+  if (!options_.scheduler) options_.scheduler = std::make_unique<FrfcfsScheduler>();
+}
+
+bool MemoryController::step(EasyApi& api) {
+  bool worked = false;
+
+  // (i) Transfer newly visible requests from the hardware FIFO into the
+  // software request table (Fig. 6 steps 4-5).
+  while (!api.req_empty() && !table_.full()) {
+    if (!api.keeper().counters().critical()) api.set_scheduling_state(true);
+    tile::Request req = api.receive_request();
+    TableEntry entry;
+    entry.dram_addr = api.get_addr_mapping(req.paddr);
+    entry.request = std::move(req);
+    api.charge(api.tile().meter().costs().table_insert);
+    table_.insert(std::move(entry));
+    worked = true;
+  }
+
+  if (table_.empty()) {
+    if (api.keeper().counters().critical()) api.set_scheduling_state(false);
+    return worked;
+  }
+
+  // (ii) Make a scheduling decision.
+  BankStateView banks([&api](std::uint32_t bank) { return api.open_row(bank); });
+  std::size_t scanned = 0;
+  const auto pick = options_.scheduler->pick(table_, banks, scanned);
+  api.charge(static_cast<std::int64_t>(scanned) *
+             api.tile().meter().costs().schedule_scan_entry);
+  EASYDRAM_ENSURES(pick.has_value());
+
+  TableEntry entry = table_.remove(*pick);
+  api.note_service_start(entry.request.issue_proc_cycle);
+  api.refresh_if_due();
+  serve(api, std::move(entry));
+  return true;
+}
+
+void MemoryController::serve(EasyApi& api, TableEntry entry) {
+  switch (entry.request.kind) {
+    case tile::RequestKind::kRead:
+    case tile::RequestKind::kWrite:
+      serve_column_batch(api, std::move(entry));
+      break;
+    case tile::RequestKind::kRowClone:
+      serve_rowclone(api, entry);
+      break;
+    case tile::RequestKind::kProfileTrcd:
+      serve_profile(api, entry);
+      break;
+  }
+}
+
+Picoseconds MemoryController::trcd_for(std::uint32_t bank, std::uint32_t row,
+                                       const EasyApi& api) const {
+  if (options_.weak_rows == nullptr) return api.timing().tRCD;
+  const std::uint64_t key = (static_cast<std::uint64_t>(bank) << 32) | row;
+  if (options_.weak_rows->maybe_contains(key)) return api.timing().tRCD;
+  return options_.reduced_trcd;
+}
+
+void MemoryController::serve_column_batch(EasyApi& api, TableEntry first) {
+  const dram::DramAddress target = first.dram_addr;
+
+  // Drain further column requests to the same row into this batch: the
+  // row opens once and the remaining accesses are back-to-back column
+  // commands — write streaming / row-hit read draining.
+  std::vector<TableEntry> batch;
+  batch.push_back(std::move(first));
+  for (std::size_t i = 0;
+       i < table_.size() && batch.size() < options_.row_batch_limit;) {
+    const TableEntry& e = table_.at(i);
+    const bool column_op = e.request.kind == tile::RequestKind::kRead ||
+                           e.request.kind == tile::RequestKind::kWrite;
+    if (column_op && e.dram_addr.bank == target.bank &&
+        e.dram_addr.row == target.row) {
+      api.charge(api.tile().meter().costs().schedule_scan_entry);
+      batch.push_back(table_.remove(i));
+    } else {
+      ++i;
+    }
+  }
+
+  // Open the row once, choosing the tRCD per the weak-row filter. The
+  // lookup overlaps the previous batch's execution on the Bender engine.
+  if (options_.weak_rows != nullptr) {
+    api.charge_overlapped(api.tile().meter().costs().bloom_check);
+  }
+  const Picoseconds trcd = trcd_for(target.bank, target.row, api);
+  bool first_access = true;
+  for (const TableEntry& e : batch) {
+    if (e.request.kind == tile::RequestKind::kRead) {
+      if (first_access && trcd < api.timing().tRCD) {
+        api.read_sequence_reduced(e.dram_addr, trcd);
+      } else {
+        api.read_sequence(e.dram_addr);
+      }
+    } else {
+      api.write_sequence(e.dram_addr, e.request.wdata);
+    }
+    first_access = false;
+  }
+  api.flush_commands();
+
+  // Responses: data for reads (in batch order), acks for writes — posted
+  // from the processor's perspective, but the ack lets drains/barriers
+  // (and the system engine) observe completion.
+  for (const TableEntry& e : batch) {
+    tile::Response resp;
+    resp.id = e.request.id;
+    if (e.request.kind == tile::RequestKind::kRead) {
+      resp.has_data = true;
+      EASYDRAM_ENSURES(!api.rdback_empty());
+      resp.data = api.rdback_cacheline().data;
+    }
+    api.enqueue_response(resp);
+  }
+}
+
+void MemoryController::serve_rowclone(EasyApi& api, const TableEntry& entry) {
+  const dram::DramAddress src = entry.dram_addr;
+  const dram::DramAddress dst = api.get_addr_mapping(entry.request.paddr2);
+
+  tile::Response resp;
+  resp.id = entry.request.id;
+  const bool known_clonable =
+      options_.clonable != nullptr && src.bank == dst.bank &&
+      options_.clonable->clonable(src.bank, src.row, dst.row);
+  if (!known_clonable) {
+    // Unverified or failing pair: tell the processor to fall back to
+    // load/store copy (§7.1, "Source and Target Row Allocation").
+    resp.ok = false;
+    api.enqueue_response(resp);
+    return;
+  }
+
+  api.rowclone(src.bank, src.row, dst.row);
+  const auto exec = api.flush_commands();
+  resp.ok = exec.rowclone_attempts == exec.rowclone_successes;
+  api.enqueue_response(resp);
+}
+
+void MemoryController::serve_profile(EasyApi& api, const TableEntry& entry) {
+  const dram::DramAddress& a = entry.dram_addr;
+  const auto pattern = profile_pattern(entry.request.paddr);
+
+  // Step 1: initialize the target cache line with a known pattern.
+  api.close_row(a.bank);
+  api.write_sequence(a, pattern);
+  api.close_row(a.bank);
+  api.flush_commands();
+
+  // Step 2: access it with the requested tRCD.
+  api.read_sequence_reduced(a, entry.request.profile_trcd);
+  api.close_row(a.bank);
+  api.flush_commands();
+
+  // Step 3: report whether the reduced access returned correct data.
+  EASYDRAM_ENSURES(!api.rdback_empty());
+  const auto rb = api.rdback_cacheline();
+  tile::Response resp;
+  resp.id = entry.request.id;
+  resp.ok = std::memcmp(rb.data.data(), pattern.data(), 64) == 0;
+  api.enqueue_response(resp);
+}
+
+bool SimpleReadController::step(EasyApi& api) {
+  // Listing 1: wait for a request, serve it, respond.
+  if (api.req_empty()) return false;
+  api.set_scheduling_state(true);
+  tile::Request req = api.receive_request();
+  api.note_service_start(req.issue_proc_cycle);
+  api.refresh_if_due();
+  const dram::DramAddress addr = api.get_addr_mapping(req.paddr);
+  EASYDRAM_EXPECTS(req.kind == tile::RequestKind::kRead);
+  api.read_sequence(addr);
+  api.flush_commands();
+  tile::Response resp;
+  resp.id = req.id;
+  resp.has_data = true;
+  resp.data = api.rdback_cacheline().data;
+  api.enqueue_response(resp);
+  api.set_scheduling_state(false);
+  return true;
+}
+
+}  // namespace easydram::smc

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "smc/bloom.hpp"
+#include "smc/easyapi.hpp"
+#include "smc/request_table.hpp"
+#include "smc/rowclone_map.hpp"
+#include "smc/scheduler.hpp"
+
+namespace easydram::smc {
+
+/// A software memory controller: a C++ program executed by the programmable
+/// core. `step` is one iteration of the §4.4 main loop — check for new
+/// requests, make a scheduling decision, handle DRAM responses.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Runs one main-loop iteration; returns true when any request made
+  /// progress (the system engine uses this to detect idleness).
+  virtual bool step(EasyApi& api) = 0;
+
+  /// True when no buffered work remains inside the controller.
+  virtual bool idle() const = 0;
+};
+
+/// Options of the full-featured controller.
+struct ControllerOptions {
+  /// Scheduling policy; defaults to FR-FCFS when null.
+  std::unique_ptr<Scheduler> scheduler;
+  std::size_t request_table_capacity = 32;
+
+  /// tRCD reduction (§8): when `weak_rows` is set, rows absent from the
+  /// filter are accessed with `reduced_trcd`; rows (possibly falsely)
+  /// flagged weak use the nominal value.
+  const BloomFilter* weak_rows = nullptr;
+  Picoseconds reduced_trcd{9000};
+
+  /// RowClone (§7): when set, kRowClone requests whose pair is verified
+  /// clonable run in DRAM; others get a fallback response (ok = false).
+  const RowCloneMap* clonable = nullptr;
+
+  /// Row-hit drain limit: after the scheduler picks a request, up to this
+  /// many further buffered requests targeting the *same DRAM row* join the
+  /// same command batch (column accesses back to back). This is how a real
+  /// controller streams writes and row-hit reads; without it every request
+  /// would pay the full software-loop latency.
+  std::size_t row_batch_limit = 16;
+};
+
+/// The reference software memory controller shipped with EasyDRAM: request
+/// transfer, FR-FCFS/FCFS scheduling, open-page policy, refresh
+/// maintenance, and the RowClone / reduced-tRCD / profiling request paths.
+class MemoryController final : public Controller {
+ public:
+  explicit MemoryController(ControllerOptions options);
+
+  bool step(EasyApi& api) override;
+  bool idle() const override { return table_.empty(); }
+
+  const RequestTable& table() const { return table_; }
+
+ private:
+  void serve(EasyApi& api, TableEntry entry);
+  /// Serves `first` plus every same-row column request drained with it.
+  void serve_column_batch(EasyApi& api, TableEntry first);
+  void serve_rowclone(EasyApi& api, const TableEntry& entry);
+  void serve_profile(EasyApi& api, const TableEntry& entry);
+
+  /// Chooses the tRCD for opening `row` of `bank` per the Bloom filter.
+  Picoseconds trcd_for(std::uint32_t bank, std::uint32_t row,
+                       const EasyApi& api) const;
+
+  ControllerOptions options_;
+  RequestTable table_;
+};
+
+/// The minimal Listing-1 controller: serves read requests one at a time,
+/// no scheduling policy, no techniques. Used by the quickstart example and
+/// as the simplest possible template for new controllers.
+class SimpleReadController final : public Controller {
+ public:
+  bool step(EasyApi& api) override;
+  bool idle() const override { return true; }
+};
+
+}  // namespace easydram::smc

@@ -1,0 +1,260 @@
+#include "smc/easyapi.hpp"
+
+#include <algorithm>
+
+namespace easydram::smc {
+
+EasyApi::EasyApi(tile::EasyTile& tile, dram::DramDevice& device,
+                 const AddressMapper& mapper, timescale::TimeKeeper& keeper)
+    : tile_(&tile),
+      device_(&device),
+      mapper_(&mapper),
+      keeper_(&keeper),
+      interpreter_(device),
+      pending_row_(device.geometry().num_banks()) {}
+
+void EasyApi::sync_meter() {
+  keeper_->account_smc_cycles(tile_->meter().take());
+}
+
+void EasyApi::charge_service(std::int64_t core_cycles) {
+  if (setup_mode_) return;
+  tile_->meter().charge(core_cycles);
+  keeper_->account_mc_service_cycles(core_cycles);
+}
+
+void EasyApi::charge_background(std::int64_t core_cycles) {
+  if (setup_mode_) return;
+  tile_->meter().charge(core_cycles);
+}
+
+bool EasyApi::req_empty() {
+  charge_background(tile_->meter().costs().poll_iteration);
+  sync_meter();
+  auto& fifo = tile_->incoming();
+  if (fifo.empty()) return true;
+  const tile::Request& head = fifo.front();
+  return !keeper_->request_visible(head.issue_proc_cycle, head.arrival_wall);
+}
+
+tile::Request EasyApi::receive_request() {
+  // The MC cannot work on a request before it exists: snap the MC
+  // emulation point to the arrival tag first, then charge the transfer
+  // work on top. This keeps the time-scaled and reference systems
+  // cycle-aligned regardless of how far the MC point lagged while idle.
+  if (keeper_->mode() != timescale::SystemMode::kNoTimeScaling &&
+      !tile_->incoming().empty()) {
+    auto& counters = keeper_->counters();
+    const std::int64_t tag = tile_->incoming().front().issue_proc_cycle;
+    if (tag > counters.mc()) counters.advance_mc(tag - counters.mc());
+  }
+  charge_service(tile_->meter().costs().receive_request);
+  sync_meter();
+  ++stats_.requests_received;
+  return tile_->incoming().pop();
+}
+
+void EasyApi::enqueue_response(tile::Response r) {
+  charge_service(tile_->meter().costs().enqueue_response);
+  sync_meter();
+  r.release_proc_cycle = keeper_->response_release_tag();
+  tile_->outgoing().push(r);
+  ++stats_.responses_sent;
+}
+
+void EasyApi::set_scheduling_state(bool critical) {
+  charge_background(tile_->meter().costs().timescale_update);
+  auto& counters = keeper_->counters();
+  if (critical && !counters.critical()) {
+    counters.enter_critical();
+  } else if (!critical && counters.critical()) {
+    counters.exit_critical();
+  }
+}
+
+void EasyApi::note_service_start(std::int64_t issue_proc_cycle) {
+  charge_service(tile_->meter().costs().timescale_update);
+  if (keeper_->mode() != timescale::SystemMode::kNoTimeScaling) {
+    auto& counters = keeper_->counters();
+    if (issue_proc_cycle > counters.mc()) {
+      counters.advance_mc(issue_proc_cycle - counters.mc());
+    }
+  }
+  keeper_->account_schedule_decision();
+}
+
+std::optional<std::uint32_t> EasyApi::open_row(std::uint32_t bank) const {
+  return effective_open_row(bank);
+}
+
+std::optional<std::uint32_t> EasyApi::effective_open_row(std::uint32_t bank) const {
+  EASYDRAM_EXPECTS(bank < pending_row_.size());
+  if (pending_row_[bank].has_value()) return *pending_row_[bank];
+  return device_->open_row(bank);
+}
+
+void EasyApi::set_pending_row(std::uint32_t bank, std::optional<std::uint32_t> row) {
+  pending_row_[bank] = row;
+}
+
+dram::DramAddress EasyApi::get_addr_mapping(std::uint64_t paddr) {
+  charge_service(tile_->meter().costs().address_map);
+  return mapper_->to_dram(paddr);
+}
+
+void EasyApi::ddr_activate(std::uint32_t bank, std::uint32_t row) {
+  charge_service(tile_->meter().costs().command_push);
+  program_.ddr(dram::Command::kAct, dram::DramAddress{bank, row, 0});
+  set_pending_row(bank, row);
+}
+
+void EasyApi::ddr_precharge(std::uint32_t bank) {
+  charge_service(tile_->meter().costs().command_push);
+  program_.ddr(dram::Command::kPre, dram::DramAddress{bank, 0, 0});
+  set_pending_row(bank, std::nullopt);
+}
+
+void EasyApi::ddr_read(const dram::DramAddress& a, bool capture) {
+  charge_service(tile_->meter().costs().command_push);
+  program_.ddr(dram::Command::kRead, a, capture);
+}
+
+void EasyApi::ddr_write(const dram::DramAddress& a,
+                        std::span<const std::uint8_t> data) {
+  charge_service(tile_->meter().costs().command_push);
+  const std::uint32_t idx = program_.add_wdata(data);
+  program_.ddr(dram::Command::kWrite, a, false, idx);
+}
+
+void EasyApi::ddr_refresh() {
+  charge_service(tile_->meter().costs().command_push);
+  program_.ddr(dram::Command::kRef, dram::DramAddress{});
+}
+
+void EasyApi::ddr_exact(dram::Command cmd, const dram::DramAddress& a,
+                        Picoseconds gap, bool capture) {
+  charge_service(tile_->meter().costs().command_push);
+  program_.ddr_exact(cmd, a, gap, capture);
+  if (cmd == dram::Command::kAct) set_pending_row(a.bank, a.row);
+  if (cmd == dram::Command::kPre) set_pending_row(a.bank, std::nullopt);
+}
+
+void EasyApi::ddr_wait(Picoseconds duration) {
+  charge_service(tile_->meter().costs().command_push);
+  program_.sleep_at_least(duration, device_->timing().tCK);
+}
+
+void EasyApi::read_sequence(const dram::DramAddress& a) {
+  const auto open = effective_open_row(a.bank);
+  if (!open || *open != a.row) {
+    if (open) ddr_precharge(a.bank);
+    ddr_activate(a.bank, a.row);
+  }
+  ddr_read(a, /*capture=*/true);
+}
+
+void EasyApi::read_sequence_reduced(const dram::DramAddress& a, Picoseconds trcd) {
+  const auto open = effective_open_row(a.bank);
+  if (open && *open == a.row) {
+    // Row already open: tRCD does not apply; a plain read suffices.
+    ddr_read(a, /*capture=*/true);
+    return;
+  }
+  if (open) ddr_precharge(a.bank);
+  ddr_activate(a.bank, a.row);
+  // The read issues exactly `trcd` after the ACT, violating the nominal
+  // parameter on purpose.
+  charge_service(tile_->meter().costs().command_push);
+  program_.ddr_exact(dram::Command::kRead, a, trcd, /*capture=*/true);
+}
+
+void EasyApi::write_sequence(const dram::DramAddress& a,
+                             std::span<const std::uint8_t> data) {
+  const auto open = effective_open_row(a.bank);
+  if (!open || *open != a.row) {
+    if (open) ddr_precharge(a.bank);
+    ddr_activate(a.bank, a.row);
+  }
+  ddr_write(a, data);
+}
+
+void EasyApi::rowclone(std::uint32_t bank, std::uint32_t src_row,
+                       std::uint32_t dst_row) {
+  close_row(bank);
+  const Picoseconds two_tck = device_->timing().tCK * 2;
+  ddr_activate(bank, src_row);
+  // Early precharge and immediate re-activation: the FPM RowClone pattern.
+  ddr_exact(dram::Command::kPre, dram::DramAddress{bank, 0, 0}, two_tck);
+  ddr_exact(dram::Command::kAct, dram::DramAddress{bank, dst_row, 0}, two_tck);
+  // Let the destination row fully restore, then close the bank.
+  ddr_wait(device_->timing().tRAS);
+  ddr_precharge(bank);
+}
+
+void EasyApi::close_row(std::uint32_t bank) {
+  if (effective_open_row(bank)) ddr_precharge(bank);
+}
+
+bender::ExecutionResult EasyApi::flush_commands(bool charge) {
+  if (setup_mode_) charge = false;
+  charge_service(tile_->meter().costs().batch_kickoff);
+  if (charge) {
+    sync_meter();
+  } else {
+    // Setup-phase batches (characterization, pair verification, catch-up
+    // refreshes) discard their core-cycle cost so it cannot leak into a
+    // later charged sync.
+    tile_->meter().take();
+  }
+  bender::ExecutionResult result = interpreter_.execute(program_, device_->now());
+  ++stats_.batches_executed;
+  stats_.commands_executed += result.commands_issued;
+  stats_.rowclone_attempts += result.rowclone_attempts;
+  stats_.rowclone_successes += result.rowclone_successes;
+  stats_.violations_seen |= result.violations;
+  if (charge) {
+    keeper_->account_batch(result.elapsed);
+    stats_.dram_busy += result.elapsed;
+    charge_service(tile_->meter().costs().readback_line *
+                   static_cast<std::int64_t>(result.readback.size()));
+  }
+  readback_ = result.readback;
+  rdback_cursor_ = 0;
+  program_.clear();
+  for (auto& p : pending_row_) p.reset();
+  return result;
+}
+
+bender::ReadbackEntry EasyApi::rdback_cacheline() {
+  EASYDRAM_EXPECTS(!rdback_empty());
+  return readback_[rdback_cursor_++];
+}
+
+void EasyApi::refresh_if_due() {
+  const dram::TimingParams& t = device_->timing();
+  // Converge: charged refreshes advance the emulated timeline, which can
+  // make one more refresh due; tRFC << tREFI guarantees termination.
+  for (int guard = 0; guard < 1'000'000; ++guard) {
+    const Picoseconds now = keeper_->emulated_now();
+    const std::int64_t due = device_->refreshes_due(now);
+    if (device_->refreshes_issued() >= due) return;
+    const bool last = device_->refreshes_issued() + 1 == due;
+    // Only a refresh whose tRFC window overlaps "now" can delay current
+    // requests; earlier catch-up refreshes overlapped compute phases and
+    // run in setup mode (uncharged).
+    const bool in_flight = last && (now.count % t.tREFI.count) < t.tRFC.count;
+    EASYDRAM_EXPECTS(program_.empty());
+    const bool was_setup = setup_mode_;
+    if (!in_flight) setup_mode_ = true;
+    for (std::uint32_t bank = 0; bank < device_->geometry().num_banks(); ++bank) {
+      close_row(bank);
+    }
+    ddr_refresh();
+    flush_commands(/*charge=*/in_flight);
+    setup_mode_ = was_setup;
+    ++stats_.refreshes_issued;
+  }
+  EASYDRAM_EXPECTS(!"refresh catch-up failed to converge");
+}
+
+}  // namespace easydram::smc

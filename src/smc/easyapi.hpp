@@ -1,0 +1,196 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "bender/interpreter.hpp"
+#include "bender/program.hpp"
+#include "common/units.hpp"
+#include "dram/device.hpp"
+#include "smc/addr_map.hpp"
+#include "tile/request.hpp"
+#include "tile/tile.hpp"
+#include "timescale/timekeeper.hpp"
+
+namespace easydram::smc {
+
+/// Aggregate statistics of one EasyAPI instance.
+struct ApiStats {
+  std::int64_t requests_received = 0;
+  std::int64_t responses_sent = 0;
+  std::int64_t batches_executed = 0;
+  std::int64_t commands_executed = 0;
+  std::int64_t rowclone_attempts = 0;
+  std::int64_t rowclone_successes = 0;
+  std::int64_t refreshes_issued = 0;
+  std::uint32_t violations_seen = 0;
+  /// Total DRAM-interface busy time of timeline-charged batches.
+  Picoseconds dram_busy{};
+};
+
+/// EasyAPI (§5.2, Table 2): the high-level C++ interface software memory
+/// controllers program against. It wraps the tile's hardware FIFOs, the
+/// DRAM Bender command buffer, the readback buffer, and the time-scaling
+/// registers, charging the programmable core's cycle costs for every
+/// operation so the No-Time-Scaling configuration faithfully suffers the
+/// software controller's slowness.
+class EasyApi {
+ public:
+  EasyApi(tile::EasyTile& tile, dram::DramDevice& device,
+          const AddressMapper& mapper, timescale::TimeKeeper& keeper);
+
+  // --- Hardware abstraction library (Table 2, top) -------------------------
+
+  /// True when no *visible* request is pending. Under time scaling a request
+  /// becomes visible once the MC emulation point reaches its issue tag
+  /// (footnote 2); polling charges one loop-iteration cost.
+  bool req_empty();
+
+  /// Moves the request at the head of the hardware FIFO to the scratchpad.
+  tile::Request receive_request();
+
+  /// Tags `r` with the release cycle (Fig. 5 step 10) and pushes it to the
+  /// outgoing FIFO.
+  void enqueue_response(tile::Response r);
+
+  /// Critical-mode register (Table 2: set_scheduling_state).
+  void set_scheduling_state(bool critical);
+
+  /// Marks the start of servicing the request tagged `issue_proc_cycle`:
+  /// the MC emulation point snaps forward to the tag (service cannot begin
+  /// before the request exists) and one hardware-MC scheduling latency is
+  /// charged to the emulated timeline.
+  void note_service_start(std::int64_t issue_proc_cycle);
+
+  /// Charges `core_cycles` of bespoke request-servicing controller logic
+  /// (technique code): accrues on the programmable core AND, under time
+  /// scaling, on the emulated MC timeline.
+  void charge(std::int64_t core_cycles) { charge_service(core_cycles); }
+
+  /// Charges controller work that overlaps DRAM Bender execution (e.g. the
+  /// Bloom-filter lookup for the *next* row activation performed while the
+  /// previous batch replays): programmable-core time only, never request
+  /// latency.
+  void charge_overlapped(std::int64_t core_cycles) {
+    charge_background(core_cycles);
+  }
+
+  /// Setup mode: API calls cost nothing on any timeline and batches execute
+  /// uncharged. Used by offline phases the paper performs before emulation
+  /// begins: DRAM characterization, RowClone pair verification, catch-up
+  /// refreshes that overlap compute.
+  void set_setup_mode(bool on) { setup_mode_ = on; }
+  bool setup_mode() const { return setup_mode_; }
+
+  /// Row currently open in `bank`, accounting for commands already queued
+  /// in the (unflushed) batch.
+  std::optional<std::uint32_t> open_row(std::uint32_t bank) const;
+
+  // --- Address translation --------------------------------------------------
+
+  dram::DramAddress get_addr_mapping(std::uint64_t paddr);
+
+  // --- Command batch construction (Table 2: ddr_*) --------------------------
+
+  void ddr_activate(std::uint32_t bank, std::uint32_t row);
+  void ddr_precharge(std::uint32_t bank);
+  void ddr_read(const dram::DramAddress& a, bool capture = true);
+  void ddr_write(const dram::DramAddress& a, std::span<const std::uint8_t> data);
+  void ddr_refresh();
+  /// Technique escape hatch: issue exactly `gap` after the previous command.
+  void ddr_exact(dram::Command cmd, const dram::DramAddress& a, Picoseconds gap,
+                 bool capture = false);
+  void ddr_wait(Picoseconds duration);
+
+  // --- High-level sequences (software library, Table 2 bottom) -------------
+
+  /// Opens the row if needed (precharging any conflicting row) and reads
+  /// one cache line; leaves the row open (open-page policy).
+  void read_sequence(const dram::DramAddress& a);
+
+  /// Like read_sequence but forces a fresh activation and issues the read
+  /// exactly `trcd` after the ACT — the §8 reduced-latency access.
+  void read_sequence_reduced(const dram::DramAddress& a, Picoseconds trcd);
+
+  /// Opens the row if needed and writes one cache line; leaves it open.
+  void write_sequence(const dram::DramAddress& a, std::span<const std::uint8_t> data);
+
+  /// FPM RowClone (§7): ACT(src) -> early PRE -> early ACT(dst), then a
+  /// nominal precharge. Both rows must be in `bank`.
+  void rowclone(std::uint32_t bank, std::uint32_t src_row, std::uint32_t dst_row);
+
+  /// Precharges `bank` if it has an open row.
+  void close_row(std::uint32_t bank);
+
+  // --- Execution -------------------------------------------------------------
+
+  /// Transfers the accumulated batch to DRAM Bender and executes it
+  /// (Table 2: flush_commands). Returns Bender's report. When `charge` is
+  /// false the batch runs for device-state maintenance only and does not
+  /// advance any timeline (used for catch-up refreshes that overlap
+  /// compute phases).
+  bender::ExecutionResult flush_commands(bool charge = true);
+
+  std::size_t batch_size() const { return program_.size(); }
+
+  /// Readback buffer access (Table 2: rdback_cacheline).
+  bool rdback_empty() const { return rdback_cursor_ >= readback_.size(); }
+  bender::ReadbackEntry rdback_cacheline();
+
+  // --- Maintenance -----------------------------------------------------------
+
+  /// Issues any refresh commands the emulated timeline owes (one per
+  /// tREFI). Catch-up refreshes that would have overlapped processor
+  /// compute phases keep DRAM state fresh without charging the timeline;
+  /// a refresh still in flight "now" is charged, delaying the current
+  /// request as in a real controller.
+  void refresh_if_due();
+
+  // --- Introspection ---------------------------------------------------------
+
+  const dram::TimingParams& timing() const { return device_->timing(); }
+  const dram::Geometry& geometry() const { return device_->geometry(); }
+  const AddressMapper& mapper() const { return *mapper_; }
+  timescale::TimeKeeper& keeper() { return *keeper_; }
+  tile::EasyTile& tile() { return *tile_; }
+  const ApiStats& stats() const { return stats_; }
+  dram::DramDevice& device_for_setup() { return *device_; }
+
+ private:
+  /// Converts accumulated programmable-core cycles into wall time. Called
+  /// before any operation that reads the wall clock (release tags, batch
+  /// execution) so the No-Time-Scaling timeline sees the SMC's software
+  /// latency as it accrues, not after the fact.
+  void sync_meter();
+
+  /// Request-servicing work: programmable-core cycles + emulated MC cycles.
+  void charge_service(std::int64_t core_cycles);
+  /// Background work (polling, mode flips): programmable-core cycles only.
+  void charge_background(std::int64_t core_cycles);
+
+  /// Effective open row seen by batch-building code: commands queued in the
+  /// current batch override device state.
+  std::optional<std::uint32_t> effective_open_row(std::uint32_t bank) const;
+  void set_pending_row(std::uint32_t bank, std::optional<std::uint32_t> row);
+
+  tile::EasyTile* tile_;
+  dram::DramDevice* device_;
+  const AddressMapper* mapper_;
+  timescale::TimeKeeper* keeper_;
+
+  bender::Program program_;
+  bender::Interpreter interpreter_;
+  std::vector<bender::ReadbackEntry> readback_;
+  std::size_t rdback_cursor_ = 0;
+
+  // bank -> row queued to be open at the end of the current batch; the
+  // wrapped optional distinguishes "no change" (outer nullopt) from
+  // "will be closed" (inner nullopt).
+  std::vector<std::optional<std::optional<std::uint32_t>>> pending_row_;
+
+  bool setup_mode_ = false;
+  ApiStats stats_;
+};
+
+}  // namespace easydram::smc

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "dram/types.hpp"
+#include "tile/request.hpp"
+
+namespace easydram::smc {
+
+/// A request staged in programmable-core memory, with its decoded DRAM
+/// address and arrival order (for FCFS age comparisons).
+struct TableEntry {
+  tile::Request request;
+  dram::DramAddress dram_addr;
+  std::uint64_t arrival_seq = 0;
+};
+
+/// The software request table (§4.4 step 5): a fixed-capacity scratchpad
+/// structure the SMC moves requests into before scheduling them.
+class RequestTable {
+ public:
+  explicit RequestTable(std::size_t capacity) : capacity_(capacity) {
+    EASYDRAM_EXPECTS(capacity > 0);
+    entries_.reserve(capacity);
+  }
+
+  bool empty() const { return entries_.empty(); }
+  bool full() const { return entries_.size() >= capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  void insert(TableEntry entry) {
+    EASYDRAM_EXPECTS(!full());
+    entry.arrival_seq = next_seq_++;
+    entries_.push_back(std::move(entry));
+  }
+
+  const TableEntry& at(std::size_t i) const {
+    EASYDRAM_EXPECTS(i < entries_.size());
+    return entries_[i];
+  }
+
+  TableEntry remove(std::size_t i) {
+    EASYDRAM_EXPECTS(i < entries_.size());
+    TableEntry e = std::move(entries_[i]);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return e;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<TableEntry> entries_;
+};
+
+}  // namespace easydram::smc

@@ -1,0 +1,216 @@
+#include "smc/rowclone_alloc.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace easydram::smc {
+
+namespace {
+
+/// Deterministic per-trial verification pattern.
+std::array<std::uint8_t, 64> trial_pattern(std::uint64_t salt) {
+  std::array<std::uint8_t, 64> p{};
+  SplitMix64 sm(salt ^ 0x7E57DA7AULL);
+  for (auto& b : p) b = static_cast<std::uint8_t>(sm.next());
+  return p;
+}
+
+constexpr int kSampleLinesPerTrial = 8;
+
+}  // namespace
+
+RowClonePairTester::RowClonePairTester(EasyApi& api, int trials)
+    : api_(&api), trials_(trials) {
+  EASYDRAM_EXPECTS(trials > 0);
+}
+
+bool RowClonePairTester::one_trial(std::uint32_t bank, std::uint32_t src_row,
+                                   std::uint32_t dst_row, std::uint64_t salt) {
+  // Verification is an offline setup phase (§7.1): no timeline charges.
+  const bool was_setup = api_->setup_mode();
+  api_->set_setup_mode(true);
+  const auto& geo = api_->geometry();
+  const auto pattern = trial_pattern(salt);
+
+  // Sample columns spread deterministically across the row.
+  std::array<std::uint32_t, kSampleLinesPerTrial> cols{};
+  for (int i = 0; i < kSampleLinesPerTrial; ++i) {
+    cols[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(
+        hash_mix(salt, bank, src_row, static_cast<std::uint64_t>(i)) %
+        geo.cols_per_row());
+  }
+
+  // Write the pattern into the source row's sampled lines.
+  for (const std::uint32_t col : cols) {
+    api_->write_sequence(dram::DramAddress{bank, src_row, col}, pattern);
+  }
+  api_->close_row(bank);
+  api_->flush_commands(/*charge=*/false);
+
+  // Perform the RowClone copy operation.
+  api_->rowclone(bank, src_row, dst_row);
+  api_->flush_commands(/*charge=*/false);
+
+  // Read the destination back and compare.
+  for (const std::uint32_t col : cols) {
+    api_->read_sequence(dram::DramAddress{bank, dst_row, col});
+  }
+  api_->close_row(bank);
+  api_->flush_commands(/*charge=*/false);
+
+  bool all_match = true;
+  for (int i = 0; i < kSampleLinesPerTrial; ++i) {
+    EASYDRAM_ENSURES(!api_->rdback_empty());
+    const auto rb = api_->rdback_cacheline();
+    if (std::memcmp(rb.data.data(), pattern.data(), 64) != 0) all_match = false;
+  }
+  api_->set_setup_mode(was_setup);
+  return all_match;
+}
+
+bool RowClonePairTester::test(std::uint32_t bank, std::uint32_t src_row,
+                              std::uint32_t dst_row, RowCloneMap& map) {
+  if (const auto known = map.known(bank, src_row, dst_row)) return *known;
+  bool clonable = true;
+  for (int t = 0; t < trials_; ++t) {
+    ++trials_run_;
+    if (!one_trial(bank, src_row, dst_row, static_cast<std::uint64_t>(t))) {
+      clonable = false;
+      break;  // One failure disqualifies the pair.
+    }
+  }
+  map.record(bank, src_row, dst_row, clonable);
+  return clonable;
+}
+
+RowCloneAllocator::RowCloneAllocator(EasyApi& api, RowCloneMap& map,
+                                     RowClonePairTester& tester)
+    : api_(&api), map_(&map), tester_(&tester) {
+  const auto& geo = api.geometry();
+  bank_cursors_.assign(geo.num_banks(), 0);
+  pattern_rows_.assign(
+      static_cast<std::size_t>(geo.num_banks()) * geo.subarrays_per_bank(), -1);
+}
+
+RowRef RowCloneAllocator::next_row_in_bank(std::uint32_t bank) {
+  const auto& geo = api_->geometry();
+  const std::uint64_t usable = geo.rows_per_subarray - 1;
+  const std::uint64_t local = bank_cursors_[bank]++;
+  const std::uint64_t subarray = local / usable;
+  EASYDRAM_EXPECTS(subarray < geo.subarrays_per_bank());
+  return RowRef{bank, static_cast<std::uint32_t>(subarray * geo.rows_per_subarray +
+                                                 local % usable)};
+}
+
+RowRef RowCloneAllocator::row_at(std::uint64_t linear_index) const {
+  const auto& geo = api_->geometry();
+  // The last row of every subarray is reserved for init pattern rows.
+  const std::uint64_t usable = geo.rows_per_subarray - 1;
+  const std::uint64_t subarray = linear_index / usable;
+  const std::uint64_t within = linear_index % usable;
+  const std::uint64_t bank = subarray / geo.subarrays_per_bank();
+  const std::uint64_t sa_in_bank = subarray % geo.subarrays_per_bank();
+  EASYDRAM_EXPECTS(bank < geo.num_banks());
+  return RowRef{static_cast<std::uint32_t>(bank),
+                static_cast<std::uint32_t>(sa_in_bank * geo.rows_per_subarray + within)};
+}
+
+RowRef RowCloneAllocator::pattern_row_for(const RowRef& dst) {
+  const auto& geo = api_->geometry();
+  const std::uint32_t sa = geo.subarray_of(dst.row);
+  const std::size_t key = static_cast<std::size_t>(dst.bank) *
+                              geo.subarrays_per_bank() + sa;
+  if (pattern_rows_[key] < 0) {
+    pattern_rows_[key] =
+        static_cast<std::int32_t>((sa + 1) * geo.rows_per_subarray - 1);
+  }
+  return RowRef{dst.bank, static_cast<std::uint32_t>(pattern_rows_[key])};
+}
+
+std::vector<CopyPlanEntry> RowCloneAllocator::plan_copy(std::size_t n_rows,
+                                                        int max_candidates) {
+  EASYDRAM_EXPECTS(max_candidates > 0);
+  const auto& geo = api_->geometry();
+  std::vector<CopyPlanEntry> plan;
+  plan.reserve(n_rows);
+
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    CopyPlanEntry entry;
+    entry.src = row_at(cursor_++);
+    const std::uint32_t src_subarray = geo.subarray_of(entry.src.row);
+
+    // Probe same-subarray destination candidates in allocation order.
+    bool found = false;
+    for (int c = 0; c < max_candidates; ++c) {
+      const RowRef cand = row_at(cursor_);
+      const bool same = cand.bank == entry.src.bank &&
+                        geo.subarray_of(cand.row) == src_subarray;
+      if (!same) break;  // Subarray exhausted: no in-subarray room left.
+      ++cursor_;         // The candidate row is consumed (used or wasted).
+      if (tester_->test(cand.bank, entry.src.row, cand.row, *map_)) {
+        entry.dst = cand;
+        entry.use_rowclone = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // No verified destination: place the target row anyway and fall back
+      // to CPU copy for this row.
+      entry.dst = row_at(cursor_++);
+      entry.use_rowclone = false;
+    }
+    plan.push_back(entry);
+  }
+  return plan;
+}
+
+std::vector<CopyPlanEntry> RowCloneAllocator::plan_copy_interleaved(
+    std::size_t n_rows, int max_candidates) {
+  EASYDRAM_EXPECTS(max_candidates > 0);
+  const auto& geo = api_->geometry();
+  std::vector<CopyPlanEntry> plan;
+  plan.reserve(n_rows);
+
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const std::uint32_t bank = static_cast<std::uint32_t>(i % geo.num_banks());
+    CopyPlanEntry entry;
+    entry.src = next_row_in_bank(bank);
+    const std::uint32_t src_subarray = geo.subarray_of(entry.src.row);
+
+    bool found = false;
+    for (int c = 0; c < max_candidates; ++c) {
+      const RowRef cand = next_row_in_bank(bank);
+      if (geo.subarray_of(cand.row) != src_subarray) break;  // Next subarray.
+      if (tester_->test(bank, entry.src.row, cand.row, *map_)) {
+        entry.dst = cand;
+        entry.use_rowclone = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      entry.dst = next_row_in_bank(bank);
+      entry.use_rowclone = false;
+    }
+    plan.push_back(entry);
+  }
+  return plan;
+}
+
+std::vector<InitPlanEntry> RowCloneAllocator::plan_init(std::size_t n_rows) {
+  std::vector<InitPlanEntry> plan;
+  plan.reserve(n_rows);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    InitPlanEntry entry;
+    entry.dst = row_at(cursor_++);
+    entry.pattern_src = pattern_row_for(entry.dst);
+    entry.use_rowclone =
+        tester_->test(entry.dst.bank, entry.pattern_src.row, entry.dst.row, *map_);
+    plan.push_back(entry);
+  }
+  return plan;
+}
+
+}  // namespace easydram::smc

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace easydram::smc {
+
+/// Verified RowClone pair knowledge (§7.1, "Mapping Problem"): records which
+/// (bank, src row, dst row) pairs passed the 1000-operation clonability
+/// test. The controller consults it at request time; the allocator fills it
+/// during setup. Unknown pairs are treated as not clonable — the safe
+/// default that triggers the CPU fallback.
+class RowCloneMap {
+ public:
+  void record(std::uint32_t bank, std::uint32_t src_row, std::uint32_t dst_row,
+              bool clonable) {
+    pairs_[key(bank, src_row, dst_row)] = clonable;
+  }
+
+  std::optional<bool> known(std::uint32_t bank, std::uint32_t src_row,
+                            std::uint32_t dst_row) const {
+    const auto it = pairs_.find(key(bank, src_row, dst_row));
+    if (it == pairs_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool clonable(std::uint32_t bank, std::uint32_t src_row,
+                std::uint32_t dst_row) const {
+    return known(bank, src_row, dst_row).value_or(false);
+  }
+
+  std::size_t size() const { return pairs_.size(); }
+
+ private:
+  static std::uint64_t key(std::uint32_t bank, std::uint32_t src, std::uint32_t dst) {
+    return (static_cast<std::uint64_t>(bank) << 48) |
+           (static_cast<std::uint64_t>(src) << 24) | dst;
+  }
+
+  std::unordered_map<std::uint64_t, bool> pairs_;
+};
+
+}  // namespace easydram::smc

@@ -1,0 +1,125 @@
+#include "smc/scheduler.hpp"
+
+#include <algorithm>
+
+namespace easydram::smc {
+
+std::optional<std::size_t> FcfsScheduler::pick(const RequestTable& table,
+                                               const BankStateView& /*banks*/,
+                                               std::size_t& scanned_entries) const {
+  scanned_entries = table.empty() ? 0 : 1;
+  if (table.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    ++scanned_entries;
+    if (table.at(i).arrival_seq < table.at(best).arrival_seq) best = i;
+  }
+  return best;
+}
+
+namespace {
+
+/// Oldest row-buffer-hit entry among those with arrival_seq < limit, else
+/// the oldest such entry; kNoLimit disables the age cut.
+constexpr std::uint64_t kNoLimit = ~0ull;
+
+std::optional<std::size_t> frfcfs_pick_below(const RequestTable& table,
+                                             const BankStateView& banks,
+                                             std::uint64_t seq_limit) {
+  std::optional<std::size_t> oldest_hit;
+  std::optional<std::size_t> oldest;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const TableEntry& e = table.at(i);
+    if (e.arrival_seq >= seq_limit) continue;
+    if (!oldest || e.arrival_seq < table.at(*oldest).arrival_seq) oldest = i;
+    const auto open = banks.open_row(e.dram_addr.bank);
+    const bool row_hit = open.has_value() && *open == e.dram_addr.row;
+    if (row_hit &&
+        (!oldest_hit || e.arrival_seq < table.at(*oldest_hit).arrival_seq)) {
+      oldest_hit = i;
+    }
+  }
+  return oldest_hit ? oldest_hit : oldest;
+}
+
+}  // namespace
+
+std::optional<std::size_t> FrfcfsScheduler::pick(const RequestTable& table,
+                                                 const BankStateView& banks,
+                                                 std::size_t& scanned_entries) const {
+  scanned_entries = table.size();
+  if (table.empty()) return std::nullopt;
+
+  std::optional<std::size_t> oldest_hit;
+  std::size_t oldest = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const TableEntry& e = table.at(i);
+    if (e.arrival_seq < table.at(oldest).arrival_seq) oldest = i;
+    const auto open = banks.open_row(e.dram_addr.bank);
+    const bool row_hit = open.has_value() && *open == e.dram_addr.row;
+    if (row_hit &&
+        (!oldest_hit || e.arrival_seq < table.at(*oldest_hit).arrival_seq)) {
+      oldest_hit = i;
+    }
+  }
+  return oldest_hit ? *oldest_hit : oldest;
+}
+
+BatchScheduler::BatchScheduler(std::size_t batch_size) : batch_size_(batch_size) {
+  EASYDRAM_EXPECTS(batch_size > 0);
+}
+
+std::optional<std::size_t> BatchScheduler::pick(const RequestTable& table,
+                                                const BankStateView& banks,
+                                                std::size_t& scanned_entries) const {
+  scanned_entries = table.size();
+  if (table.empty()) return std::nullopt;
+
+  // Serve FR-FCFS *within* the current batch; open a new batch only when
+  // the current one is fully drained.
+  auto in_batch = frfcfs_pick_below(table, banks, batch_boundary_);
+  if (!in_batch) {
+    // Current batch drained: the next batch covers the next batch_size_
+    // arrivals starting from the oldest outstanding request.
+    std::uint64_t oldest_seq = kNoLimit;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      oldest_seq = std::min(oldest_seq, table.at(i).arrival_seq);
+    }
+    batch_boundary_ = oldest_seq + batch_size_;
+    in_batch = frfcfs_pick_below(table, banks, batch_boundary_);
+  }
+  return in_batch;
+}
+
+BlacklistScheduler::BlacklistScheduler(int streak_limit)
+    : streak_limit_(streak_limit) {
+  EASYDRAM_EXPECTS(streak_limit > 0);
+}
+
+std::optional<std::size_t> BlacklistScheduler::pick(const RequestTable& table,
+                                                    const BankStateView& banks,
+                                                    std::size_t& scanned_entries) const {
+  scanned_entries = table.size();
+  if (table.empty()) return std::nullopt;
+
+  std::optional<std::size_t> choice;
+  if (streak_ < streak_limit_) {
+    choice = frfcfs_pick_below(table, banks, kNoLimit);
+  } else {
+    // Blacklisted: break the streak with the oldest request.
+    std::size_t oldest = 0;
+    for (std::size_t i = 1; i < table.size(); ++i) {
+      if (table.at(i).arrival_seq < table.at(oldest).arrival_seq) oldest = i;
+    }
+    choice = oldest;
+  }
+
+  const TableEntry& e = table.at(*choice);
+  const std::uint64_t row_key =
+      (static_cast<std::uint64_t>(e.dram_addr.bank) << 32) | e.dram_addr.row;
+  streak_ = row_key == last_row_key_ ? streak_ + 1 : 1;
+  last_row_key_ = row_key;
+  return choice;
+}
+
+}  // namespace easydram::smc

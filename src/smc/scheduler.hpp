@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "smc/request_table.hpp"
+
+namespace easydram::smc {
+
+/// View of DRAM bank state a scheduling policy may consult.
+class BankStateView {
+ public:
+  explicit BankStateView(std::function<std::optional<std::uint32_t>(std::uint32_t)>
+                             open_row_of_bank)
+      : open_row_(std::move(open_row_of_bank)) {}
+
+  std::optional<std::uint32_t> open_row(std::uint32_t bank) const {
+    return open_row_(bank);
+  }
+
+ private:
+  std::function<std::optional<std::uint32_t>(std::uint32_t)> open_row_;
+};
+
+/// A memory-request scheduling policy (Table 2: FCFS::schedule,
+/// FRFCFS::schedule). Returns the table index to serve next, or nullopt for
+/// an empty table. `scanned_entries` reports how many table entries the
+/// policy examined so the cycle meter can charge a realistic software cost.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::optional<std::size_t> pick(const RequestTable& table,
+                                          const BankStateView& banks,
+                                          std::size_t& scanned_entries) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// First come, first served: always the oldest request.
+class FcfsScheduler final : public Scheduler {
+ public:
+  std::optional<std::size_t> pick(const RequestTable& table, const BankStateView& banks,
+                                  std::size_t& scanned_entries) const override;
+  std::string_view name() const override { return "FCFS"; }
+};
+
+/// First ready, first come, first served: the oldest row-buffer-hit request
+/// if one exists, otherwise the oldest request.
+class FrfcfsScheduler final : public Scheduler {
+ public:
+  std::optional<std::size_t> pick(const RequestTable& table, const BankStateView& banks,
+                                  std::size_t& scanned_entries) const override;
+  std::string_view name() const override { return "FR-FCFS"; }
+};
+
+/// PAR-BS-style batch scheduler (Mutlu & Moscibroda, ISCA'08, simplified for
+/// a single request source): requests are grouped into arrival batches of
+/// `batch_size`; the current batch is fully served (row hits first within
+/// it) before any younger request, bounding worst-case queueing delay.
+class BatchScheduler final : public Scheduler {
+ public:
+  explicit BatchScheduler(std::size_t batch_size = 8);
+
+  std::optional<std::size_t> pick(const RequestTable& table, const BankStateView& banks,
+                                  std::size_t& scanned_entries) const override;
+  std::string_view name() const override { return "PAR-BS"; }
+
+ private:
+  std::size_t batch_size_;
+  mutable std::uint64_t batch_boundary_ = 0;  ///< First seq of the next batch.
+};
+
+/// BLISS-style blacklisting scheduler (Subramanian et al., ICCD'14,
+/// simplified): a source streaming row hits is "blacklisted" after
+/// `streak_limit` consecutive same-row picks; while blacklisted, the oldest
+/// request wins regardless of row state, restoring fairness at near-FR-FCFS
+/// throughput. With a single source the observable effect is a bounded
+/// row-hit streak.
+class BlacklistScheduler final : public Scheduler {
+ public:
+  explicit BlacklistScheduler(int streak_limit = 4);
+
+  std::optional<std::size_t> pick(const RequestTable& table, const BankStateView& banks,
+                                  std::size_t& scanned_entries) const override;
+  std::string_view name() const override { return "BLISS"; }
+
+ private:
+  int streak_limit_;
+  mutable int streak_ = 0;
+  mutable std::uint64_t last_row_key_ = ~0ull;
+};
+
+}  // namespace easydram::smc

@@ -1,0 +1,120 @@
+#include "smc/trcd_profiler.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace easydram::smc {
+
+namespace {
+
+std::array<std::uint8_t, 64> line_pattern(std::uint32_t bank, std::uint32_t row,
+                                          std::uint32_t col) {
+  std::array<std::uint8_t, 64> p{};
+  SplitMix64 sm(hash_mix(0x9A77E12, bank, row, col));
+  for (auto& b : p) b = static_cast<std::uint8_t>(sm.next());
+  return p;
+}
+
+}  // namespace
+
+TrcdProfiler::TrcdProfiler(EasyApi& api, std::vector<Picoseconds> test_values)
+    : api_(&api), test_values_(std::move(test_values)) {
+  EASYDRAM_EXPECTS(!test_values_.empty());
+  EASYDRAM_EXPECTS(std::is_sorted(test_values_.rbegin(), test_values_.rend()));
+}
+
+void TrcdProfiler::init_row_pattern(std::uint32_t bank, std::uint32_t row,
+                                    std::span<const std::uint32_t> cols) {
+  api_->close_row(bank);
+  for (const std::uint32_t col : cols) {
+    api_->write_sequence(dram::DramAddress{bank, row, col},
+                         line_pattern(bank, row, col));
+  }
+  api_->close_row(bank);
+  api_->flush_commands(/*charge=*/false);
+}
+
+bool TrcdProfiler::row_reliable_at(std::uint32_t bank, std::uint32_t row,
+                                   Picoseconds trcd, std::uint32_t lines_to_test) {
+  // Characterization is an offline setup phase (§8.1): no timeline charges.
+  const bool was_setup = api_->setup_mode();
+  api_->set_setup_mode(true);
+  const auto& geo = api_->geometry();
+  const std::uint32_t n =
+      lines_to_test == 0 ? geo.cols_per_row()
+                         : std::min(lines_to_test, geo.cols_per_row());
+
+  std::vector<std::uint32_t> cols;
+  cols.reserve(n);
+  if (n == geo.cols_per_row()) {
+    for (std::uint32_t c = 0; c < n; ++c) cols.push_back(c);
+  } else {
+    // Deterministic spread when sampling.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      cols.push_back(static_cast<std::uint32_t>(
+          hash_mix(0x5A39, bank, row, i) % geo.cols_per_row()));
+    }
+  }
+
+  // Step 1: initialize sampled lines with known patterns.
+  init_row_pattern(bank, row, cols);
+
+  // Step 2: access each line with the reduced tRCD. Every test needs its
+  // own activation — tRCD only applies to the first access after ACT.
+  for (const std::uint32_t col : cols) {
+    api_->read_sequence_reduced(dram::DramAddress{bank, row, col}, trcd);
+    api_->close_row(bank);
+  }
+  api_->flush_commands(/*charge=*/false);
+
+  // Step 3: compare.
+  bool all_ok = true;
+  for (const std::uint32_t col : cols) {
+    EASYDRAM_ENSURES(!api_->rdback_empty());
+    const auto rb = api_->rdback_cacheline();
+    const auto expect = line_pattern(bank, row, col);
+    if (std::memcmp(rb.data.data(), expect.data(), 64) != 0) all_ok = false;
+    ++lines_tested_;
+  }
+  api_->set_setup_mode(was_setup);
+  return all_ok;
+}
+
+RowProfile TrcdProfiler::profile_row(std::uint32_t bank, std::uint32_t row,
+                                     std::uint32_t lines_to_test) {
+  RowProfile result{bank, row, test_values_.front()};
+  for (const Picoseconds v : test_values_) {
+    if (!row_reliable_at(bank, row, v, lines_to_test)) break;
+    result.min_reliable = v;
+  }
+  return result;
+}
+
+BloomFilter build_weak_row_filter(EasyApi& api, std::span<const std::uint32_t> banks,
+                                  std::uint32_t rows_per_bank, Picoseconds threshold,
+                                  std::size_t filter_bits, std::size_t hashes,
+                                  WeakRowFilterStats* stats,
+                                  std::uint32_t lines_per_row) {
+  BloomFilter filter(filter_bits, hashes);
+  TrcdProfiler profiler(api, {threshold});
+  WeakRowFilterStats local{};
+  for (const std::uint32_t bank : banks) {
+    for (std::uint32_t row = 0; row < rows_per_bank; ++row) {
+      ++local.rows_profiled;
+      if (!profiler.row_reliable_at(bank, row, threshold, lines_per_row)) {
+        ++local.weak_rows;
+        filter.insert((static_cast<std::uint64_t>(bank) << 32) | row);
+      }
+    }
+  }
+  local.weak_fraction = local.rows_profiled == 0
+                            ? 0.0
+                            : static_cast<double>(local.weak_rows) /
+                                  static_cast<double>(local.rows_profiled);
+  if (stats != nullptr) *stats = local;
+  return filter;
+}
+
+}  // namespace easydram::smc

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "smc/bloom.hpp"
+#include "smc/easyapi.hpp"
+
+namespace easydram::smc {
+
+/// Result of profiling one DRAM row.
+struct RowProfile {
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  /// Smallest tested tRCD at which every examined cache line of the row
+  /// read back correctly.
+  Picoseconds min_reliable{};
+};
+
+/// Offline DRAM characterization for the tRCD-reduction study (§8.1): for
+/// each row, initialize lines with a known pattern, access them under a
+/// reduced tRCD, and compare. Runs through EasyAPI against the real (here:
+/// modelled) chip; batches execute uncharged because the paper performs
+/// characterization before emulation begins.
+class TrcdProfiler {
+ public:
+  /// `test_values` must be sorted descending (first = most conservative).
+  TrcdProfiler(EasyApi& api, std::vector<Picoseconds> test_values);
+
+  /// True iff all examined lines of the row read correctly at `trcd`.
+  /// `lines_to_test` == 0 tests every cache line of the row.
+  bool row_reliable_at(std::uint32_t bank, std::uint32_t row, Picoseconds trcd,
+                       std::uint32_t lines_to_test = 0);
+
+  /// Sweeps the test values and returns the row's minimum reliable value
+  /// (the most conservative value when even that fails, which the modelled
+  /// chip — like the paper's — never produces below nominal).
+  RowProfile profile_row(std::uint32_t bank, std::uint32_t row,
+                         std::uint32_t lines_to_test = 0);
+
+  std::int64_t lines_tested() const { return lines_tested_; }
+
+ private:
+  void init_row_pattern(std::uint32_t bank, std::uint32_t row,
+                        std::span<const std::uint32_t> cols);
+
+  EasyApi* api_;
+  std::vector<Picoseconds> test_values_;
+  std::int64_t lines_tested_ = 0;
+};
+
+/// Statistics of a weak-row filter build.
+struct WeakRowFilterStats {
+  std::int64_t rows_profiled = 0;
+  std::int64_t weak_rows = 0;
+  double weak_fraction = 0.0;
+};
+
+/// Profiles `rows_per_bank` rows of each listed bank at `threshold` and
+/// builds the RAIDR-style Bloom filter of weak rows (§8.2). The key of row
+/// r in bank b is (b << 32) | r, matching MemoryController::trcd_for.
+BloomFilter build_weak_row_filter(EasyApi& api, std::span<const std::uint32_t> banks,
+                                  std::uint32_t rows_per_bank, Picoseconds threshold,
+                                  std::size_t filter_bits, std::size_t hashes,
+                                  WeakRowFilterStats* stats = nullptr,
+                                  std::uint32_t lines_per_row = 0);
+
+}  // namespace easydram::smc

@@ -1,0 +1,213 @@
+#include "sys/system.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace easydram::sys {
+
+SystemConfig jetson_nano_time_scaling() {
+  SystemConfig cfg;  // Defaults already model this target.
+  return cfg;
+}
+
+SystemConfig pidram_no_time_scaling() {
+  SystemConfig cfg;
+  cfg.mode = timescale::SystemMode::kNoTimeScaling;
+  cfg.core = cpu::pidram_inorder_core();
+  cfg.caches = cpu::easydram_caches();
+  // In the PiDRAM-style build the processor's FPGA clock *is* its clock.
+  cfg.proc_domain = timescale::DomainConfig{Frequency::megahertz(50),
+                                            Frequency::megahertz(50)};
+  return cfg;
+}
+
+SystemConfig validation_time_scaling() {
+  SystemConfig cfg;
+  cfg.core = cpu::boom_1ghz_core();
+  cfg.proc_domain = timescale::DomainConfig{Frequency::megahertz(100),
+                                            Frequency::gigahertz(1)};
+  return cfg;
+}
+
+SystemConfig validation_reference() {
+  SystemConfig cfg = validation_time_scaling();
+  cfg.mode = timescale::SystemMode::kReference;
+  // The reference RTL system runs everything at the 1 GHz target clock.
+  cfg.proc_domain = timescale::DomainConfig{Frequency::gigahertz(1),
+                                            Frequency::gigahertz(1)};
+  return cfg;
+}
+
+EasyDramSystem::EasyDramSystem(const SystemConfig& cfg)
+    : cfg_(cfg),
+      device_(cfg.geometry, cfg.timing, cfg.variation),
+      tile_(cfg.tile),
+      mapper_(cfg.line_interleaved_mapping
+                  ? static_cast<std::unique_ptr<smc::AddressMapper>>(
+                        std::make_unique<smc::LineInterleavedMapper>(cfg.geometry))
+                  : std::make_unique<smc::LinearMapper>(cfg.geometry)),
+      keeper_(cfg.mode, cfg.proc_domain, cfg.tile.core_clock,
+              cfg.mc_sched_latency_cycles, cfg.hardware_mc),
+      api_(tile_, device_, *mapper_, keeper_) {
+  EASYDRAM_EXPECTS(cfg.core.emulated_clock == cfg.proc_domain.emulated_clock);
+  rebuild_controller();
+}
+
+void EasyDramSystem::rebuild_controller() {
+  EASYDRAM_EXPECTS(!controller_ || controller_->idle());
+  smc::ControllerOptions options;
+  if (cfg_.scheduler_factory) {
+    options.scheduler = cfg_.scheduler_factory();
+    EASYDRAM_EXPECTS(options.scheduler != nullptr);
+  } else if (cfg_.use_frfcfs) {
+    options.scheduler = std::make_unique<smc::FrfcfsScheduler>();
+  } else {
+    options.scheduler = std::make_unique<smc::FcfsScheduler>();
+  }
+  options.reduced_trcd = cfg_.reduced_trcd;
+  options.row_batch_limit = cfg_.row_batch_limit;
+  options.weak_rows = weak_rows_ ? &*weak_rows_ : nullptr;
+  options.clonable = rowclone_enabled_ ? &clone_map_ : nullptr;
+  controller_ = std::make_unique<smc::MemoryController>(std::move(options));
+}
+
+void EasyDramSystem::enable_rowclone() {
+  rowclone_enabled_ = true;
+  rebuild_controller();
+}
+
+void EasyDramSystem::install_weak_row_filter(smc::BloomFilter filter) {
+  weak_rows_ = std::move(filter);
+  rebuild_controller();
+}
+
+void EasyDramSystem::account_cpu_progress(std::int64_t now) {
+  if (now <= last_cpu_cycle_) return;
+  if (cfg_.mode == timescale::SystemMode::kNoTimeScaling) {
+    // Without time scaling the processor's cycle count *is* the wall clock
+    // at its FPGA frequency: stall cycles already elapsed as SMC/DRAM wall
+    // time, so the wall is synchronized, never double-charged.
+    keeper_.advance_wall_to(cfg_.proc_domain.fpga_clock.cycles_to_ps(now));
+  } else {
+    // Under time scaling every emulated cycle — including the replayed
+    // stall windows of Fig. 5(e) — executes on the processor's FPGA clock.
+    keeper_.account_proc_cycles(now - last_cpu_cycle_);
+  }
+  last_cpu_cycle_ = now;
+}
+
+void EasyDramSystem::drain_outgoing() {
+  auto& fifo = tile_.outgoing();
+  while (!fifo.empty()) {
+    tile::Response resp = fifo.pop();
+    completed_.emplace(resp.id, std::move(resp));
+  }
+}
+
+bool EasyDramSystem::pump_once() {
+  const bool worked = controller_->step(api_);
+  keeper_.account_smc_cycles(tile_.meter().take());
+  drain_outgoing();
+  if (!worked) {
+    // Only future-tagged requests remain: let the emulation point skip the
+    // idle gap so the head request becomes visible.
+    if (!tile_.incoming().empty()) {
+      keeper_.skip_idle_until_proc_cycle(tile_.incoming().front().issue_proc_cycle);
+    }
+  }
+  return worked;
+}
+
+void EasyDramSystem::pump_until_fifo_has_room() {
+  int guard = 0;
+  while (tile_.incoming().full()) {
+    pump_once();
+    EASYDRAM_EXPECTS(++guard < 1'000'000);
+  }
+}
+
+std::uint64_t EasyDramSystem::submit(tile::Request req, std::int64_t now) {
+  account_cpu_progress(now);
+  pump_until_fifo_has_room();
+  req.id = next_id_++;
+  req.issue_proc_cycle = now;
+  req.arrival_wall = keeper_.wall();
+  const std::uint64_t id = req.id;
+  tile_.incoming().push(std::move(req));
+  return id;
+}
+
+std::uint64_t EasyDramSystem::submit_read(std::uint64_t paddr, std::int64_t now) {
+  tile::Request req;
+  req.kind = tile::RequestKind::kRead;
+  req.paddr = paddr;
+  return submit(std::move(req), now);
+}
+
+std::uint64_t EasyDramSystem::submit_write(std::uint64_t paddr, std::int64_t now) {
+  tile::Request req;
+  req.kind = tile::RequestKind::kWrite;
+  req.paddr = paddr;
+  // The timing models carry no data; fabricate a deterministic payload so
+  // DRAM contents evolve benignly.
+  SplitMix64 sm(paddr ^ 0xD47A);
+  for (auto& b : req.wdata) b = static_cast<std::uint8_t>(sm.next());
+  return submit(std::move(req), now);
+}
+
+std::uint64_t EasyDramSystem::submit_rowclone(std::uint64_t src_paddr,
+                                              std::uint64_t dst_paddr,
+                                              std::int64_t now) {
+  tile::Request req;
+  req.kind = tile::RequestKind::kRowClone;
+  req.paddr = src_paddr;
+  req.paddr2 = dst_paddr;
+  return submit(std::move(req), now);
+}
+
+std::uint64_t EasyDramSystem::submit_profile(std::uint64_t paddr, Picoseconds trcd,
+                                             std::int64_t now) {
+  tile::Request req;
+  req.kind = tile::RequestKind::kProfileTrcd;
+  req.paddr = paddr;
+  req.profile_trcd = trcd;
+  return submit(std::move(req), now);
+}
+
+cpu::Completion EasyDramSystem::wait(std::uint64_t id) {
+  int guard = 0;
+  while (!completed_.contains(id)) {
+    pump_once();
+    EASYDRAM_EXPECTS(++guard < 100'000'000);
+  }
+  const auto it = completed_.find(id);
+  cpu::Completion c{it->second.release_proc_cycle, it->second.ok};
+  completed_.erase(it);
+  return c;
+}
+
+cpu::RunResult EasyDramSystem::run(cpu::TraceSource& trace) {
+  cpu::Core core(cfg_.core, cfg_.caches);
+  cpu::RunResult result = core.run(trace, *this);
+
+  // Process any remaining posted writes and reconcile the wall clock with
+  // the core's final cycle count.
+  account_cpu_progress(result.cycles);
+  int guard = 0;
+  while (!tile_.incoming().empty() || !controller_->idle()) {
+    pump_once();
+    EASYDRAM_EXPECTS(++guard < 100'000'000);
+  }
+  // Let the controller observe its empty table and leave critical mode,
+  // resynchronising the time-scaling counters (Fig. 5(f)).
+  while (keeper_.counters().critical()) {
+    pump_once();
+    EASYDRAM_EXPECTS(++guard < 100'000'000);
+  }
+  drain_outgoing();
+  completed_.clear();  // Unconsumed posted-write acks.
+  return result;
+}
+
+}  // namespace easydram::sys

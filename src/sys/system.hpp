@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "cpu/backend.hpp"
+#include "cpu/core.hpp"
+#include "cpu/presets.hpp"
+#include "dram/device.hpp"
+#include "smc/bloom.hpp"
+#include "smc/controller.hpp"
+#include "smc/easyapi.hpp"
+#include "smc/rowclone_map.hpp"
+#include "tile/tile.hpp"
+#include "timescale/timekeeper.hpp"
+
+namespace easydram::sys {
+
+/// Full-system configuration. The defaults model the paper's baseline: an
+/// A57-like processor (Jetson Nano target) time-scaled from a 100 MHz FPGA
+/// clock, EasyTile with a 100 MHz programmable core, and a single rank of
+/// DDR4-1333.
+struct SystemConfig {
+  timescale::SystemMode mode = timescale::SystemMode::kTimeScaling;
+  timescale::DomainConfig proc_domain{Frequency::megahertz(100),
+                                      Frequency{1'430'000'000}};
+  /// Additional fixed hardware scheduling latency per request, in emulated
+  /// processor cycles, on top of the SMC program's own (cycle-counted)
+  /// scheduling time. The paper's modeled controller *is* the SMC program
+  /// re-clocked at the system frequency, so the default is 0; raise it to
+  /// model an MC with extra pipeline stages.
+  std::int64_t mc_sched_latency_cycles = 0;
+
+  /// Model a fixed-function RTL memory controller instead: requests cost
+  /// only `mc_sched_latency_cycles`, never the SMC program's cycle count
+  /// (the Fig. 2 "FPGA + RTL memory controller" configuration).
+  bool hardware_mc = false;
+
+  cpu::CoreConfig core = cpu::cortex_a57_core();
+  cpu::CacheHierConfig caches = cpu::easydram_caches();
+
+  dram::Geometry geometry{};
+  dram::TimingParams timing = dram::ddr4_1333();
+  dram::VariationConfig variation{};
+
+  tile::TileConfig tile{};
+  bool use_frfcfs = true;
+  bool line_interleaved_mapping = false;
+  Picoseconds reduced_trcd{9000};
+  /// Row-hit drain limit of the stock controller (see ControllerOptions).
+  std::size_t row_batch_limit = 16;
+
+  /// Optional custom scheduling policy. When set it overrides `use_frfcfs`;
+  /// called once per controller build (see examples/custom_scheduler.cpp).
+  std::function<std::unique_ptr<smc::Scheduler>()> scheduler_factory;
+};
+
+/// Convenience presets matching the paper's evaluated configurations.
+SystemConfig jetson_nano_time_scaling();
+SystemConfig pidram_no_time_scaling();
+SystemConfig validation_time_scaling();  ///< §6: 100 MHz scaled to 1 GHz.
+SystemConfig validation_reference();     ///< §6: direct 1 GHz RTL reference.
+
+/// The assembled EasyDRAM system (Fig. 7): processor model ⇄ memory bus ⇄
+/// EasyTile (programmable core running a software memory controller, DRAM
+/// Bender) ⇄ DRAM device, glued by the time-scaling machinery.
+///
+/// Implements cpu::MemoryBackend so any core model / trace can run on it.
+/// One instance models one power-on: construct, (optionally) run setup
+/// phases such as characterization or RowClone allocation through `api()`,
+/// then call run().
+class EasyDramSystem final : public cpu::MemoryBackend {
+ public:
+  explicit EasyDramSystem(const SystemConfig& cfg);
+
+  // --- Setup-phase access ---------------------------------------------------
+
+  smc::EasyApi& api() { return api_; }
+  dram::DramDevice& device() { return device_; }
+  smc::RowCloneMap& clone_map() { return clone_map_; }
+  const SystemConfig& config() const { return cfg_; }
+  const timescale::TimeKeeper& keeper() const { return keeper_; }
+
+  /// Enables the RowClone request path: kRowClone requests whose pair is
+  /// verified in clone_map() run in DRAM, others get fallback responses.
+  void enable_rowclone();
+
+  /// Installs the weak-row Bloom filter, turning on reduced-tRCD accesses
+  /// for rows not flagged weak.
+  void install_weak_row_filter(smc::BloomFilter filter);
+
+  // --- cpu::MemoryBackend ---------------------------------------------------
+
+  std::uint64_t submit_read(std::uint64_t paddr, std::int64_t now) override;
+  std::uint64_t submit_write(std::uint64_t paddr, std::int64_t now) override;
+  std::uint64_t submit_rowclone(std::uint64_t src_paddr, std::uint64_t dst_paddr,
+                                std::int64_t now) override;
+  std::uint64_t submit_profile(std::uint64_t paddr, Picoseconds trcd,
+                               std::int64_t now) override;
+  cpu::Completion wait(std::uint64_t id) override;
+
+  // --- Whole-workload execution ----------------------------------------------
+
+  /// Runs `trace` on a fresh core built from the configuration, drains all
+  /// outstanding work, and reconciles the wall clock.
+  cpu::RunResult run(cpu::TraceSource& trace);
+
+  // --- Results ----------------------------------------------------------------
+
+  /// FPGA wall time consumed so far (drives the Fig. 14 simulation-speed
+  /// study and the No-Time-Scaling timeline).
+  Picoseconds wall() const { return keeper_.wall(); }
+  const smc::ApiStats& smc_stats() const { return api_.stats(); }
+
+ private:
+  std::uint64_t submit(tile::Request req, std::int64_t now);
+  /// Runs SMC iterations until the FIFO has room.
+  void pump_until_fifo_has_room();
+  bool pump_once();
+  void drain_outgoing();
+  void account_cpu_progress(std::int64_t now);
+  void rebuild_controller();
+
+  SystemConfig cfg_;
+  dram::DramDevice device_;
+  tile::EasyTile tile_;
+  std::unique_ptr<smc::AddressMapper> mapper_;
+  timescale::TimeKeeper keeper_;
+  smc::EasyApi api_;
+  smc::RowCloneMap clone_map_;
+  std::optional<smc::BloomFilter> weak_rows_;
+  bool rowclone_enabled_ = false;
+  std::unique_ptr<smc::Controller> controller_;
+
+  std::uint64_t next_id_ = 1;
+  std::int64_t last_cpu_cycle_ = 0;
+  std::unordered_map<std::uint64_t, tile::Response> completed_;
+};
+
+}  // namespace easydram::sys

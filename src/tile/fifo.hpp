@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/contracts.hpp"
+
+namespace easydram::tile {
+
+/// Bounded FIFO modelling EasyTile's hardware request/response queues.
+/// Pushing into a full FIFO is a contract violation: the producers in this
+/// repository (memory bus, tile control logic) check `full()` first, exactly
+/// as the hardware applies backpressure.
+template <typename T>
+class BoundedFifo {
+ public:
+  explicit BoundedFifo(std::size_t capacity) : capacity_(capacity) {
+    EASYDRAM_EXPECTS(capacity > 0);
+  }
+
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  void push(T item) {
+    EASYDRAM_EXPECTS(!full());
+    items_.push_back(std::move(item));
+  }
+
+  T pop() {
+    EASYDRAM_EXPECTS(!empty());
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  const T& front() const {
+    EASYDRAM_EXPECTS(!empty());
+    return items_.front();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace easydram::tile

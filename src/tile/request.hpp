@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace easydram::tile {
+
+/// Kinds of main-memory requests that reach EasyTile.
+///
+/// kRead/kWrite are ordinary cache-line transactions. The remaining kinds
+/// model the paper's memory-mapped extension interface: the processor
+/// triggers a RowClone copy, a cache-line flush, or a tRCD profiling request
+/// (§8.1) by writing to EasyTile control registers; each such write arrives
+/// here as a typed request.
+enum class RequestKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kRowClone,     ///< Copy the row containing `paddr` onto the row at `paddr2`.
+  kProfileTrcd,  ///< Test the line at `paddr` under `profile_trcd`.
+};
+
+/// A main-memory request as stored in the incoming request FIFO.
+struct Request {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kRead;
+  std::uint64_t paddr = 0;
+  std::uint64_t paddr2 = 0;                ///< kRowClone destination.
+  std::array<std::uint8_t, 64> wdata{};    ///< kWrite payload.
+  Picoseconds profile_trcd{};              ///< kProfileTrcd: tRCD under test.
+  /// Time-scaling tag: the processor-domain cycle at which the request was
+  /// issued (Fig. 5 step 1).
+  std::int64_t issue_proc_cycle = 0;
+  /// FPGA wall-clock arrival time (the No-Time-Scaling notion of "when").
+  Picoseconds arrival_wall{};
+};
+
+/// A response placed in the outgoing FIFO by the software memory controller.
+struct Response {
+  std::uint64_t id = 0;
+  std::array<std::uint8_t, 64> data{};
+  bool has_data = false;
+  /// kRowClone: the in-DRAM copy failed and the processor must fall back to
+  /// CPU load/store copy. kProfileTrcd: the tested line read correctly.
+  bool ok = true;
+  /// Time-scaling release tag: the processor may not consume this response
+  /// before its cycle counter reaches this value (Fig. 5 step 10).
+  std::int64_t release_proc_cycle = 0;
+};
+
+}  // namespace easydram::tile

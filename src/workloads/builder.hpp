@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "cpu/trace.hpp"
+
+namespace easydram::workloads {
+
+/// Helper for composing core traces. `default_gap` models the non-memory
+/// instructions (index arithmetic, FLOPs) between consecutive memory
+/// operations; kernels override it per access where it matters.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::uint32_t default_gap = 2) : default_gap_(default_gap) {}
+
+  void load(std::uint64_t addr) { push(cpu::Op::kLoad, addr, default_gap_); }
+  void load(std::uint64_t addr, std::uint32_t gap) { push(cpu::Op::kLoad, addr, gap); }
+  void load_dependent(std::uint64_t addr, std::uint32_t gap = 1) {
+    push(cpu::Op::kLoadDependent, addr, gap);
+  }
+  void store(std::uint64_t addr) { push(cpu::Op::kStore, addr, default_gap_); }
+  void store(std::uint64_t addr, std::uint32_t gap) { push(cpu::Op::kStore, addr, gap); }
+  void flush(std::uint64_t addr) { push(cpu::Op::kFlush, addr, 1); }
+  void drain() { push(cpu::Op::kDrain, 0, 0); }
+  void rowclone(std::uint64_t src, std::uint64_t dst) {
+    cpu::TraceRecord r;
+    r.op = cpu::Op::kRowClone;
+    r.gap_instructions = 2;
+    r.addr = src;
+    r.addr2 = dst;
+    records_.push_back(r);
+  }
+  void compute(std::uint32_t instructions) {
+    // Pure-compute stretch: attach the instructions to a NOP-like record by
+    // folding them into the next access's gap instead of a dedicated op.
+    pending_gap_ += instructions;
+  }
+
+  std::vector<cpu::TraceRecord> take() { return std::move(records_); }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  void push(cpu::Op op, std::uint64_t addr, std::uint32_t gap) {
+    cpu::TraceRecord r;
+    r.op = op;
+    r.gap_instructions = gap + pending_gap_;
+    pending_gap_ = 0;
+    r.addr = addr;
+    records_.push_back(r);
+  }
+
+  std::uint32_t default_gap_;
+  std::uint32_t pending_gap_ = 0;
+  std::vector<cpu::TraceRecord> records_;
+};
+
+/// Bump allocator for laying out kernel arrays in physical memory, 64-byte
+/// aligned, with a guard gap between arrays so distinct arrays never share
+/// a cache line.
+class Layout {
+ public:
+  explicit Layout(std::uint64_t base = 0) : cursor_(base) {}
+
+  std::uint64_t alloc(std::uint64_t bytes) {
+    const std::uint64_t aligned = (cursor_ + 63) & ~std::uint64_t{63};
+    cursor_ = aligned + ((bytes + 63) & ~std::uint64_t{63});
+    return aligned;
+  }
+
+  std::uint64_t bytes_used() const { return cursor_; }
+
+ private:
+  std::uint64_t cursor_;
+};
+
+}  // namespace easydram::workloads

@@ -1,0 +1,43 @@
+#include "workloads/lmbench.hpp"
+
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "workloads/builder.hpp"
+
+namespace easydram::workloads {
+
+std::uint64_t lmbench_loads_per_pass(std::uint64_t buffer_bytes) {
+  return buffer_bytes / 64;
+}
+
+std::vector<cpu::TraceRecord> make_lmbench_chase(std::uint64_t buffer_bytes,
+                                                 int passes,
+                                                 std::uint64_t base_addr,
+                                                 std::uint64_t seed) {
+  EASYDRAM_EXPECTS(buffer_bytes >= 64 && buffer_bytes % 64 == 0);
+  EASYDRAM_EXPECTS(passes > 0);
+  const std::uint64_t lines = buffer_bytes / 64;
+
+  // Deterministic cycle through all lines (Sattolo's algorithm builds a
+  // single-cycle permutation: the chase visits every line exactly once per
+  // pass).
+  std::vector<std::uint64_t> order(lines);
+  std::iota(order.begin(), order.end(), 0);
+  Xoshiro256ss rng(seed);
+  for (std::uint64_t i = lines - 1; i >= 1; --i) {
+    const std::uint64_t j = rng.next_below(i);
+    std::swap(order[i], order[j]);
+  }
+
+  TraceBuilder b;
+  for (int p = 0; p < passes; ++p) {
+    for (const std::uint64_t line : order) {
+      b.load_dependent(base_addr + line * 64, /*gap=*/1);
+    }
+  }
+  return b.take();
+}
+
+}  // namespace easydram::workloads

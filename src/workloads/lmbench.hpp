@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/trace.hpp"
+
+namespace easydram::workloads {
+
+/// lmbench-style memory read latency microbenchmark (§6, Fig. 8): a strict
+/// pointer chase over a buffer of `buffer_bytes`, one access per cache
+/// line, in a deterministic pseudo-random permutation (defeating spatial
+/// patterns exactly as lat_mem_rd's stride walk defeats prefetching).
+/// Every load is dependent, so the full access latency is exposed.
+///
+/// Returns `passes` complete walks of the buffer.
+std::vector<cpu::TraceRecord> make_lmbench_chase(std::uint64_t buffer_bytes,
+                                                 int passes,
+                                                 std::uint64_t base_addr = 0,
+                                                 std::uint64_t seed = 0x17B);
+
+/// Loads per pass for a buffer of the given size.
+std::uint64_t lmbench_loads_per_pass(std::uint64_t buffer_bytes);
+
+}  // namespace easydram::workloads

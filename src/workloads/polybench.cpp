@@ -1,0 +1,865 @@
+#include "workloads/polybench.hpp"
+
+#include <array>
+
+#include "common/contracts.hpp"
+#include "workloads/builder.hpp"
+
+namespace easydram::workloads {
+
+namespace {
+
+/// A 2D double array laid out row-major at a fixed physical base.
+struct Arr2 {
+  std::uint64_t base = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+
+  std::uint64_t at(std::uint64_t i, std::uint64_t j) const {
+    EASYDRAM_EXPECTS(i < rows && j < cols);
+    return base + (i * cols + j) * 8;
+  }
+};
+
+/// A 1D double array.
+struct Arr1 {
+  std::uint64_t base = 0;
+  std::uint64_t n = 0;
+
+  std::uint64_t at(std::uint64_t i) const {
+    EASYDRAM_EXPECTS(i < n);
+    return base + i * 8;
+  }
+};
+
+Arr2 alloc2(Layout& l, std::uint64_t rows, std::uint64_t cols) {
+  return Arr2{l.alloc(rows * cols * 8), rows, cols};
+}
+
+Arr1 alloc1(Layout& l, std::uint64_t n) { return Arr1{l.alloc(n * 8), n}; }
+
+// ---------------------------------------------------------------------------
+// Linear algebra: BLAS-like kernels
+// ---------------------------------------------------------------------------
+
+std::vector<cpu::TraceRecord> gen_gemm() {
+  constexpr std::uint64_t NI = 112, NJ = 112, NK = 112;
+  Layout l;
+  TraceBuilder b;
+  Arr2 C = alloc2(l, NI, NJ), A = alloc2(l, NI, NK), B = alloc2(l, NK, NJ);
+  for (std::uint64_t i = 0; i < NI; ++i) {
+    for (std::uint64_t j = 0; j < NJ; ++j) {
+      b.load(C.at(i, j));
+      b.store(C.at(i, j));  // C[i][j] *= beta
+      for (std::uint64_t k = 0; k < NK; ++k) {
+        b.load(A.at(i, k));
+        b.load(B.at(k, j));
+      }
+      b.store(C.at(i, j));
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_gemver() {
+  constexpr std::uint64_t N = 800;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, N, N);
+  Arr1 u1 = alloc1(l, N), v1 = alloc1(l, N), u2 = alloc1(l, N), v2 = alloc1(l, N);
+  Arr1 w = alloc1(l, N), x = alloc1(l, N), y = alloc1(l, N), z = alloc1(l, N);
+  for (std::uint64_t i = 0; i < N; ++i) {
+    b.load(u1.at(i));
+    b.load(u2.at(i));
+    for (std::uint64_t j = 0; j < N; ++j) {
+      b.load(A.at(i, j));
+      b.load(v1.at(j));
+      b.load(v2.at(j));
+      b.store(A.at(i, j));
+    }
+  }
+  for (std::uint64_t i = 0; i < N; ++i) {
+    b.load(x.at(i));
+    for (std::uint64_t j = 0; j < N; ++j) {
+      b.load(A.at(j, i));  // beta * A^T * y
+      b.load(y.at(j));
+    }
+    b.store(x.at(i));
+  }
+  for (std::uint64_t i = 0; i < N; ++i) {
+    b.load(x.at(i));
+    b.load(z.at(i));
+    b.store(x.at(i));
+  }
+  for (std::uint64_t i = 0; i < N; ++i) {
+    b.load(w.at(i));
+    for (std::uint64_t j = 0; j < N; ++j) {
+      b.load(A.at(i, j));
+      b.load(x.at(j));
+    }
+    b.store(w.at(i));
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_gesummv() {
+  constexpr std::uint64_t N = 640;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, N, N), B = alloc2(l, N, N);
+  Arr1 x = alloc1(l, N), y = alloc1(l, N), tmp = alloc1(l, N);
+  for (std::uint64_t i = 0; i < N; ++i) {
+    for (std::uint64_t j = 0; j < N; ++j) {
+      b.load(A.at(i, j));
+      b.load(B.at(i, j));
+      b.load(x.at(j));
+    }
+    b.store(tmp.at(i));
+    b.store(y.at(i));
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_mvt() {
+  constexpr std::uint64_t N = 900;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, N, N);
+  Arr1 x1 = alloc1(l, N), x2 = alloc1(l, N), y1 = alloc1(l, N), y2 = alloc1(l, N);
+  for (std::uint64_t i = 0; i < N; ++i) {
+    b.load(x1.at(i));
+    for (std::uint64_t j = 0; j < N; ++j) {
+      b.load(A.at(i, j));
+      b.load(y1.at(j));
+    }
+    b.store(x1.at(i));
+  }
+  for (std::uint64_t i = 0; i < N; ++i) {
+    b.load(x2.at(i));
+    for (std::uint64_t j = 0; j < N; ++j) {
+      b.load(A.at(j, i));
+      b.load(y2.at(j));
+    }
+    b.store(x2.at(i));
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_syrk() {
+  constexpr std::uint64_t N = 128, M = 128;
+  Layout l;
+  TraceBuilder b;
+  Arr2 C = alloc2(l, N, N), A = alloc2(l, N, M);
+  for (std::uint64_t i = 0; i < N; ++i) {
+    for (std::uint64_t j = 0; j <= i; ++j) {
+      b.load(C.at(i, j));
+      b.store(C.at(i, j));
+    }
+    for (std::uint64_t k = 0; k < M; ++k) {
+      b.load(A.at(i, k));
+      for (std::uint64_t j = 0; j <= i; ++j) {
+        b.load(A.at(j, k));
+        b.load(C.at(i, j));
+        b.store(C.at(i, j));
+      }
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_syr2k() {
+  constexpr std::uint64_t N = 104, M = 104;
+  Layout l;
+  TraceBuilder b;
+  Arr2 C = alloc2(l, N, N), A = alloc2(l, N, M), B = alloc2(l, N, M);
+  for (std::uint64_t i = 0; i < N; ++i) {
+    for (std::uint64_t j = 0; j <= i; ++j) {
+      b.load(C.at(i, j));
+      b.store(C.at(i, j));
+    }
+    for (std::uint64_t k = 0; k < M; ++k) {
+      for (std::uint64_t j = 0; j <= i; ++j) {
+        b.load(A.at(j, k));
+        b.load(B.at(i, k));
+        b.load(B.at(j, k));
+        b.load(A.at(i, k));
+        b.load(C.at(i, j));
+        b.store(C.at(i, j));
+      }
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_symm() {
+  constexpr std::uint64_t M = 112, N = 112;
+  Layout l;
+  TraceBuilder b;
+  Arr2 C = alloc2(l, M, N), A = alloc2(l, M, M), B = alloc2(l, M, N);
+  for (std::uint64_t i = 0; i < M; ++i) {
+    for (std::uint64_t j = 0; j < N; ++j) {
+      for (std::uint64_t k = 0; k < i; ++k) {
+        b.load(A.at(i, k));
+        b.load(B.at(i, j));
+        b.load(C.at(k, j));
+        b.store(C.at(k, j));
+        b.load(B.at(k, j));
+      }
+      b.load(B.at(i, j));
+      b.load(A.at(i, i));
+      b.load(C.at(i, j));
+      b.store(C.at(i, j));
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_trmm() {
+  constexpr std::uint64_t M = 128, N = 128;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, M, M), B = alloc2(l, M, N);
+  for (std::uint64_t i = 0; i < M; ++i) {
+    for (std::uint64_t j = 0; j < N; ++j) {
+      b.load(B.at(i, j));
+      for (std::uint64_t k = i + 1; k < M; ++k) {
+        b.load(A.at(k, i));
+        b.load(B.at(k, j));
+      }
+      b.store(B.at(i, j));
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_2mm() {
+  constexpr std::uint64_t NI = 96, NJ = 96, NK = 96, NL = 96;
+  Layout l;
+  TraceBuilder b;
+  Arr2 tmp = alloc2(l, NI, NJ), A = alloc2(l, NI, NK), B = alloc2(l, NK, NJ);
+  Arr2 C = alloc2(l, NJ, NL), D = alloc2(l, NI, NL);
+  for (std::uint64_t i = 0; i < NI; ++i) {
+    for (std::uint64_t j = 0; j < NJ; ++j) {
+      for (std::uint64_t k = 0; k < NK; ++k) {
+        b.load(A.at(i, k));
+        b.load(B.at(k, j));
+      }
+      b.store(tmp.at(i, j));
+    }
+  }
+  for (std::uint64_t i = 0; i < NI; ++i) {
+    for (std::uint64_t j = 0; j < NL; ++j) {
+      b.load(D.at(i, j));
+      for (std::uint64_t k = 0; k < NJ; ++k) {
+        b.load(tmp.at(i, k));
+        b.load(C.at(k, j));
+      }
+      b.store(D.at(i, j));
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_3mm() {
+  constexpr std::uint64_t N = 80;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, N, N), B = alloc2(l, N, N), C = alloc2(l, N, N), D = alloc2(l, N, N);
+  Arr2 E = alloc2(l, N, N), F = alloc2(l, N, N), G = alloc2(l, N, N);
+  auto mm = [&](const Arr2& dst, const Arr2& x, const Arr2& y) {
+    for (std::uint64_t i = 0; i < N; ++i) {
+      for (std::uint64_t j = 0; j < N; ++j) {
+        for (std::uint64_t k = 0; k < N; ++k) {
+          b.load(x.at(i, k));
+          b.load(y.at(k, j));
+        }
+        b.store(dst.at(i, j));
+      }
+    }
+  };
+  mm(E, A, B);
+  mm(F, C, D);
+  mm(G, E, F);
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_atax() {
+  constexpr std::uint64_t M = 880, N = 880;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, M, N);
+  Arr1 x = alloc1(l, N), y = alloc1(l, N), tmp = alloc1(l, M);
+  for (std::uint64_t i = 0; i < M; ++i) {
+    for (std::uint64_t j = 0; j < N; ++j) {
+      b.load(A.at(i, j));
+      b.load(x.at(j));
+    }
+    b.store(tmp.at(i));
+    for (std::uint64_t j = 0; j < N; ++j) {
+      b.load(A.at(i, j));
+      b.load(y.at(j));
+      b.store(y.at(j));
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_bicg() {
+  constexpr std::uint64_t M = 880, N = 880;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, N, M);
+  Arr1 s = alloc1(l, M), q = alloc1(l, N), p = alloc1(l, M), r = alloc1(l, N);
+  for (std::uint64_t i = 0; i < N; ++i) {
+    b.load(r.at(i));
+    for (std::uint64_t j = 0; j < M; ++j) {
+      b.load(s.at(j));
+      b.load(A.at(i, j));
+      b.store(s.at(j));
+      b.load(p.at(j));
+    }
+    b.store(q.at(i));
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_doitgen() {
+  constexpr std::uint64_t NR = 24, NQ = 24, NP = 64;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, NR * NQ, NP), C4 = alloc2(l, NP, NP);
+  Arr1 sum = alloc1(l, NP);
+  for (std::uint64_t r = 0; r < NR; ++r) {
+    for (std::uint64_t q = 0; q < NQ; ++q) {
+      for (std::uint64_t p = 0; p < NP; ++p) {
+        for (std::uint64_t s = 0; s < NP; ++s) {
+          b.load(A.at(r * NQ + q, s));
+          b.load(C4.at(s, p));
+        }
+        b.store(sum.at(p));
+      }
+      for (std::uint64_t p = 0; p < NP; ++p) {
+        b.load(sum.at(p));
+        b.store(A.at(r * NQ + q, p));
+      }
+    }
+  }
+  return b.take();
+}
+
+// ---------------------------------------------------------------------------
+// Data mining
+// ---------------------------------------------------------------------------
+
+std::vector<cpu::TraceRecord> gen_correlation() {
+  constexpr std::uint64_t M = 96, N = 256;
+  Layout l;
+  TraceBuilder b;
+  Arr2 data = alloc2(l, N, M), corr = alloc2(l, M, M);
+  Arr1 mean_a = alloc1(l, M), stddev = alloc1(l, M);
+  for (std::uint64_t j = 0; j < M; ++j) {
+    for (std::uint64_t i = 0; i < N; ++i) b.load(data.at(i, j));
+    b.store(mean_a.at(j));
+  }
+  for (std::uint64_t j = 0; j < M; ++j) {
+    b.load(mean_a.at(j));
+    for (std::uint64_t i = 0; i < N; ++i) b.load(data.at(i, j));
+    b.store(stddev.at(j));
+  }
+  for (std::uint64_t i = 0; i < N; ++i) {
+    for (std::uint64_t j = 0; j < M; ++j) {
+      b.load(data.at(i, j));
+      b.load(mean_a.at(j));
+      b.load(stddev.at(j));
+      b.store(data.at(i, j));
+    }
+  }
+  for (std::uint64_t i = 0; i + 1 < M; ++i) {
+    b.store(corr.at(i, i));
+    for (std::uint64_t j = i + 1; j < M; ++j) {
+      for (std::uint64_t k = 0; k < N; ++k) {
+        b.load(data.at(k, i));
+        b.load(data.at(k, j));
+      }
+      b.store(corr.at(i, j));
+      b.store(corr.at(j, i));
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_covariance() {
+  constexpr std::uint64_t M = 96, N = 256;
+  Layout l;
+  TraceBuilder b;
+  Arr2 data = alloc2(l, N, M), cov = alloc2(l, M, M);
+  Arr1 mean_a = alloc1(l, M);
+  for (std::uint64_t j = 0; j < M; ++j) {
+    for (std::uint64_t i = 0; i < N; ++i) b.load(data.at(i, j));
+    b.store(mean_a.at(j));
+  }
+  for (std::uint64_t i = 0; i < N; ++i) {
+    for (std::uint64_t j = 0; j < M; ++j) {
+      b.load(data.at(i, j));
+      b.load(mean_a.at(j));
+      b.store(data.at(i, j));
+    }
+  }
+  for (std::uint64_t i = 0; i < M; ++i) {
+    for (std::uint64_t j = i; j < M; ++j) {
+      for (std::uint64_t k = 0; k < N; ++k) {
+        b.load(data.at(k, i));
+        b.load(data.at(k, j));
+      }
+      b.store(cov.at(i, j));
+      b.store(cov.at(j, i));
+    }
+  }
+  return b.take();
+}
+
+// ---------------------------------------------------------------------------
+// Solvers and decompositions
+// ---------------------------------------------------------------------------
+
+std::vector<cpu::TraceRecord> gen_trisolv() {
+  constexpr std::uint64_t N = 900;
+  Layout l;
+  TraceBuilder b;
+  Arr2 L = alloc2(l, N, N);
+  Arr1 x = alloc1(l, N), bb = alloc1(l, N);
+  for (std::uint64_t i = 0; i < N; ++i) {
+    b.load(bb.at(i));
+    for (std::uint64_t j = 0; j < i; ++j) {
+      b.load(L.at(i, j));
+      b.load(x.at(j));
+    }
+    b.load(L.at(i, i));
+    b.store(x.at(i));
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_cholesky() {
+  constexpr std::uint64_t N = 144;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, N, N);
+  for (std::uint64_t i = 0; i < N; ++i) {
+    for (std::uint64_t j = 0; j < i; ++j) {
+      b.load(A.at(i, j));
+      for (std::uint64_t k = 0; k < j; ++k) {
+        b.load(A.at(i, k));
+        b.load(A.at(j, k));
+      }
+      b.load(A.at(j, j));
+      b.store(A.at(i, j));
+    }
+    b.load(A.at(i, i));
+    for (std::uint64_t k = 0; k < i; ++k) b.load(A.at(i, k));
+    b.store(A.at(i, i));
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_lu() {
+  constexpr std::uint64_t N = 144;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, N, N);
+  for (std::uint64_t i = 0; i < N; ++i) {
+    for (std::uint64_t j = 0; j < i; ++j) {
+      b.load(A.at(i, j));
+      for (std::uint64_t k = 0; k < j; ++k) {
+        b.load(A.at(i, k));
+        b.load(A.at(k, j));
+      }
+      b.load(A.at(j, j));
+      b.store(A.at(i, j));
+    }
+    for (std::uint64_t j = i; j < N; ++j) {
+      b.load(A.at(i, j));
+      for (std::uint64_t k = 0; k < i; ++k) {
+        b.load(A.at(i, k));
+        b.load(A.at(k, j));
+      }
+      b.store(A.at(i, j));
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_ludcmp() {
+  constexpr std::uint64_t N = 144;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, N, N);
+  Arr1 bv = alloc1(l, N), x = alloc1(l, N), y = alloc1(l, N);
+  // LU factorization (same nest as lu) ...
+  for (std::uint64_t i = 0; i < N; ++i) {
+    for (std::uint64_t j = 0; j < i; ++j) {
+      b.load(A.at(i, j));
+      for (std::uint64_t k = 0; k < j; ++k) {
+        b.load(A.at(i, k));
+        b.load(A.at(k, j));
+      }
+      b.load(A.at(j, j));
+      b.store(A.at(i, j));
+    }
+    for (std::uint64_t j = i; j < N; ++j) {
+      b.load(A.at(i, j));
+      for (std::uint64_t k = 0; k < i; ++k) {
+        b.load(A.at(i, k));
+        b.load(A.at(k, j));
+      }
+      b.store(A.at(i, j));
+    }
+  }
+  // ... followed by the two triangular solves.
+  for (std::uint64_t i = 0; i < N; ++i) {
+    b.load(bv.at(i));
+    for (std::uint64_t j = 0; j < i; ++j) {
+      b.load(A.at(i, j));
+      b.load(y.at(j));
+    }
+    b.store(y.at(i));
+  }
+  for (std::uint64_t ii = N; ii > 0; --ii) {
+    const std::uint64_t i = ii - 1;
+    b.load(y.at(i));
+    for (std::uint64_t j = i + 1; j < N; ++j) {
+      b.load(A.at(i, j));
+      b.load(x.at(j));
+    }
+    b.load(A.at(i, i));
+    b.store(x.at(i));
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_durbin() {
+  constexpr std::uint64_t N = 800;
+  Layout l;
+  TraceBuilder b;
+  Arr1 r = alloc1(l, N), y = alloc1(l, N), z = alloc1(l, N);
+  b.load(r.at(0));
+  b.store(y.at(0));
+  for (std::uint64_t k = 1; k < N; ++k) {
+    b.load(r.at(k));
+    for (std::uint64_t i = 0; i < k; ++i) {
+      b.load(r.at(k - i - 1));
+      b.load(y.at(i));
+    }
+    for (std::uint64_t i = 0; i < k; ++i) {
+      b.load(y.at(i));
+      b.load(y.at(k - i - 1));
+      b.store(z.at(i));
+    }
+    for (std::uint64_t i = 0; i < k; ++i) {
+      b.load(z.at(i));
+      b.store(y.at(i));
+    }
+    b.store(y.at(k));
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_gramschmidt() {
+  constexpr std::uint64_t M = 120, N = 120;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, M, N), R = alloc2(l, N, N), Q = alloc2(l, M, N);
+  for (std::uint64_t k = 0; k < N; ++k) {
+    for (std::uint64_t i = 0; i < M; ++i) b.load(A.at(i, k));
+    b.store(R.at(k, k));
+    for (std::uint64_t i = 0; i < M; ++i) {
+      b.load(A.at(i, k));
+      b.load(R.at(k, k));
+      b.store(Q.at(i, k));
+    }
+    for (std::uint64_t j = k + 1; j < N; ++j) {
+      for (std::uint64_t i = 0; i < M; ++i) {
+        b.load(Q.at(i, k));
+        b.load(A.at(i, j));
+      }
+      b.store(R.at(k, j));
+      for (std::uint64_t i = 0; i < M; ++i) {
+        b.load(A.at(i, j));
+        b.load(Q.at(i, k));
+        b.load(R.at(k, j));
+        b.store(A.at(i, j));
+      }
+    }
+  }
+  return b.take();
+}
+
+// ---------------------------------------------------------------------------
+// Stencils and dynamic programming
+// ---------------------------------------------------------------------------
+
+std::vector<cpu::TraceRecord> gen_jacobi_1d() {
+  constexpr std::uint64_t N = 100000, T = 4;
+  Layout l;
+  TraceBuilder b;
+  Arr1 A = alloc1(l, N), B = alloc1(l, N);
+  for (std::uint64_t t = 0; t < T; ++t) {
+    for (std::uint64_t i = 1; i + 1 < N; ++i) {
+      b.load(A.at(i - 1));
+      b.load(A.at(i));
+      b.load(A.at(i + 1));
+      b.store(B.at(i));
+    }
+    for (std::uint64_t i = 1; i + 1 < N; ++i) {
+      b.load(B.at(i - 1));
+      b.load(B.at(i));
+      b.load(B.at(i + 1));
+      b.store(A.at(i));
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_jacobi_2d() {
+  constexpr std::uint64_t N = 360, T = 2;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, N, N), B = alloc2(l, N, N);
+  auto sweep = [&](const Arr2& src, const Arr2& dst) {
+    for (std::uint64_t i = 1; i + 1 < N; ++i) {
+      for (std::uint64_t j = 1; j + 1 < N; ++j) {
+        b.load(src.at(i, j));
+        b.load(src.at(i, j - 1));
+        b.load(src.at(i, j + 1));
+        b.load(src.at(i - 1, j));
+        b.load(src.at(i + 1, j));
+        b.store(dst.at(i, j));
+      }
+    }
+  };
+  for (std::uint64_t t = 0; t < T; ++t) {
+    sweep(A, B);
+    sweep(B, A);
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_seidel_2d() {
+  constexpr std::uint64_t N = 400, T = 2;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, N, N);
+  for (std::uint64_t t = 0; t < T; ++t) {
+    for (std::uint64_t i = 1; i + 1 < N; ++i) {
+      for (std::uint64_t j = 1; j + 1 < N; ++j) {
+        b.load(A.at(i - 1, j - 1));
+        b.load(A.at(i - 1, j));
+        b.load(A.at(i - 1, j + 1));
+        b.load(A.at(i, j - 1));
+        b.load(A.at(i, j));
+        b.load(A.at(i, j + 1));
+        b.load(A.at(i + 1, j - 1));
+        b.load(A.at(i + 1, j));
+        b.load(A.at(i + 1, j + 1));
+        b.store(A.at(i, j));
+      }
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_fdtd_2d() {
+  constexpr std::uint64_t NX = 300, NY = 300, T = 2;
+  Layout l;
+  TraceBuilder b;
+  Arr2 ex = alloc2(l, NX, NY), ey = alloc2(l, NX, NY), hz = alloc2(l, NX, NY);
+  for (std::uint64_t t = 0; t < T; ++t) {
+    for (std::uint64_t j = 0; j < NY; ++j) b.store(ey.at(0, j));
+    for (std::uint64_t i = 1; i < NX; ++i) {
+      for (std::uint64_t j = 0; j < NY; ++j) {
+        b.load(ey.at(i, j));
+        b.load(hz.at(i, j));
+        b.load(hz.at(i - 1, j));
+        b.store(ey.at(i, j));
+      }
+    }
+    for (std::uint64_t i = 0; i < NX; ++i) {
+      for (std::uint64_t j = 1; j < NY; ++j) {
+        b.load(ex.at(i, j));
+        b.load(hz.at(i, j));
+        b.load(hz.at(i, j - 1));
+        b.store(ex.at(i, j));
+      }
+    }
+    for (std::uint64_t i = 0; i + 1 < NX; ++i) {
+      for (std::uint64_t j = 0; j + 1 < NY; ++j) {
+        b.load(hz.at(i, j));
+        b.load(ex.at(i, j + 1));
+        b.load(ex.at(i, j));
+        b.load(ey.at(i + 1, j));
+        b.load(ey.at(i, j));
+        b.store(hz.at(i, j));
+      }
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_heat_3d() {
+  constexpr std::uint64_t N = 48, T = 2;
+  Layout l;
+  TraceBuilder b;
+  Arr2 A = alloc2(l, N * N, N), B = alloc2(l, N * N, N);
+  auto idx = [&](const Arr2& a, std::uint64_t i, std::uint64_t j, std::uint64_t k) {
+    return a.at(i * N + j, k);
+  };
+  auto sweep = [&](const Arr2& src, const Arr2& dst) {
+    for (std::uint64_t i = 1; i + 1 < N; ++i) {
+      for (std::uint64_t j = 1; j + 1 < N; ++j) {
+        for (std::uint64_t k = 1; k + 1 < N; ++k) {
+          b.load(idx(src, i + 1, j, k));
+          b.load(idx(src, i, j, k));
+          b.load(idx(src, i - 1, j, k));
+          b.load(idx(src, i, j + 1, k));
+          b.load(idx(src, i, j - 1, k));
+          b.load(idx(src, i, j, k + 1));
+          b.load(idx(src, i, j, k - 1));
+          b.store(idx(dst, i, j, k));
+        }
+      }
+    }
+  };
+  for (std::uint64_t t = 0; t < T; ++t) {
+    sweep(A, B);
+    sweep(B, A);
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_adi() {
+  constexpr std::uint64_t N = 200, T = 2;
+  Layout l;
+  TraceBuilder b;
+  Arr2 u = alloc2(l, N, N), v = alloc2(l, N, N), p = alloc2(l, N, N), q = alloc2(l, N, N);
+  for (std::uint64_t t = 0; t < T; ++t) {
+    // Column sweep.
+    for (std::uint64_t i = 1; i + 1 < N; ++i) {
+      b.store(v.at(0, i));
+      b.store(p.at(i, 0));
+      b.store(q.at(i, 0));
+      for (std::uint64_t j = 1; j + 1 < N; ++j) {
+        b.load(p.at(i, j - 1));
+        b.load(q.at(i, j - 1));
+        b.load(u.at(j, i - 1));
+        b.load(u.at(j, i));
+        b.load(u.at(j, i + 1));
+        b.store(p.at(i, j));
+        b.store(q.at(i, j));
+      }
+      b.store(v.at(N - 1, i));
+      for (std::uint64_t jj = N - 1; jj > 0; --jj) {
+        const std::uint64_t j = jj - 1;
+        if (j == 0) break;
+        b.load(p.at(i, j));
+        b.load(v.at(j + 1, i));
+        b.load(q.at(i, j));
+        b.store(v.at(j, i));
+      }
+    }
+    // Row sweep.
+    for (std::uint64_t i = 1; i + 1 < N; ++i) {
+      b.store(u.at(i, 0));
+      b.store(p.at(i, 0));
+      b.store(q.at(i, 0));
+      for (std::uint64_t j = 1; j + 1 < N; ++j) {
+        b.load(p.at(i, j - 1));
+        b.load(q.at(i, j - 1));
+        b.load(v.at(i - 1, j));
+        b.load(v.at(i, j));
+        b.load(v.at(i + 1, j));
+        b.store(p.at(i, j));
+        b.store(q.at(i, j));
+      }
+      b.store(u.at(i, N - 1));
+      for (std::uint64_t jj = N - 1; jj > 0; --jj) {
+        const std::uint64_t j = jj - 1;
+        if (j == 0) break;
+        b.load(p.at(i, j));
+        b.load(u.at(i, j + 1));
+        b.load(q.at(i, j));
+        b.store(u.at(i, j));
+      }
+    }
+  }
+  return b.take();
+}
+
+std::vector<cpu::TraceRecord> gen_floyd_warshall() {
+  constexpr std::uint64_t N = 100;
+  Layout l;
+  TraceBuilder b;
+  Arr2 path = alloc2(l, N, N);
+  for (std::uint64_t k = 0; k < N; ++k) {
+    for (std::uint64_t i = 0; i < N; ++i) {
+      for (std::uint64_t j = 0; j < N; ++j) {
+        b.load(path.at(i, j));
+        b.load(path.at(i, k));
+        b.load(path.at(k, j));
+        b.store(path.at(i, j));
+      }
+    }
+  }
+  return b.take();
+}
+
+constexpr std::array<PolybenchKernel, 28> kKernels{{
+    {"correlation", gen_correlation},
+    {"covariance", gen_covariance},
+    {"2mm", gen_2mm},
+    {"3mm", gen_3mm},
+    {"atax", gen_atax},
+    {"bicg", gen_bicg},
+    {"doitgen", gen_doitgen},
+    {"mvt", gen_mvt},
+    {"gemm", gen_gemm},
+    {"gemver", gen_gemver},
+    {"gesummv", gen_gesummv},
+    {"symm", gen_symm},
+    {"syr2k", gen_syr2k},
+    {"syrk", gen_syrk},
+    {"trmm", gen_trmm},
+    {"cholesky", gen_cholesky},
+    {"durbin", gen_durbin},
+    {"gramschmidt", gen_gramschmidt},
+    {"lu", gen_lu},
+    {"ludcmp", gen_ludcmp},
+    {"trisolv", gen_trisolv},
+    {"adi", gen_adi},
+    {"fdtd-2d", gen_fdtd_2d},
+    {"heat-3d", gen_heat_3d},
+    {"jacobi-1d", gen_jacobi_1d},
+    {"jacobi-2d", gen_jacobi_2d},
+    {"seidel-2d", gen_seidel_2d},
+    {"floyd-warshall", gen_floyd_warshall},
+}};
+
+constexpr std::array<std::string_view, 11> kFig13Names{
+    "gemver",      "mvt",  "gesummv", "syrk",   "symm", "correlation",
+    "covariance",  "trisolv", "gramschmidt", "gemm", "durbin",
+};
+
+}  // namespace
+
+std::span<const PolybenchKernel> all_kernels() { return kKernels; }
+
+std::span<const std::string_view> fig13_names() { return kFig13Names; }
+
+std::vector<cpu::TraceRecord> generate_kernel(std::string_view name) {
+  for (const PolybenchKernel& k : kKernels) {
+    if (k.name == name) return k.generate();
+  }
+  EASYDRAM_EXPECTS(!"unknown PolyBench kernel name");
+  return {};
+}
+
+}  // namespace easydram::workloads

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace easydram {
+namespace {
+
+using namespace easydram::literals;
+
+TEST(Contracts, ExpectsThrowsWithLocation) {
+  try {
+    EASYDRAM_EXPECTS(1 == 2);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresThrows) {
+  EXPECT_THROW(EASYDRAM_ENSURES(false), ContractViolation);
+  EXPECT_NO_THROW(EASYDRAM_ENSURES(true));
+}
+
+TEST(Units, LiteralsAndArithmetic) {
+  EXPECT_EQ((1_ns).count, 1000);
+  EXPECT_EQ((2_us).count, 2'000'000);
+  EXPECT_EQ((1_ms).count, 1'000'000'000);
+  EXPECT_EQ((3_ns + 500_ps).count, 3500);
+  EXPECT_EQ((3_ns - 500_ps).count, 2500);
+  EXPECT_EQ(((1_ns) * 7).count, 7000);
+  EXPECT_LT(1_ns, 2_ns);
+  EXPECT_DOUBLE_EQ((1500_ps).nanoseconds(), 1.5);
+}
+
+TEST(Units, FrequencyPeriod) {
+  EXPECT_EQ(Frequency::megahertz(100).period().count, 10'000);
+  EXPECT_EQ(Frequency::gigahertz(1).period().count, 1000);
+}
+
+TEST(Units, CyclesToPsRoundTrip) {
+  const Frequency f = Frequency::megahertz(100);
+  EXPECT_EQ(f.cycles_to_ps(1).count, 10'000);
+  EXPECT_EQ(f.cycles_to_ps(123).count, 1'230'000);
+  EXPECT_EQ(f.ps_to_cycles_floor(Picoseconds{19'999}), 1);
+  EXPECT_EQ(f.ps_to_cycles_ceil(Picoseconds{19'999}), 2);
+  EXPECT_EQ(f.ps_to_cycles_ceil(Picoseconds{20'000}), 2);
+}
+
+TEST(Units, NonDivisibleFrequencyRoundsDeterministically) {
+  const Frequency f{1'430'000'000};  // 1.43 GHz: period ~699.3 ps.
+  const std::int64_t cycles = 1'000'000;
+  const Picoseconds t = f.cycles_to_ps(cycles);
+  EXPECT_NEAR(static_cast<double>(t.count), 1e6 * 1e12 / 1.43e9, 1.0);
+  // Round-trip may lose at most one cycle to ps rounding.
+  EXPECT_NEAR(static_cast<double>(f.ps_to_cycles_floor(t)),
+              static_cast<double>(cycles), 1.0);
+}
+
+struct FreqCase {
+  std::int64_t hertz;
+  std::int64_t cycles;
+};
+
+class FrequencyProperty : public ::testing::TestWithParam<FreqCase> {};
+
+TEST_P(FrequencyProperty, CeilNeverBelowFloorAndCoversDuration) {
+  const auto [hz, cycles] = GetParam();
+  const Frequency f{hz};
+  const Picoseconds t = f.cycles_to_ps(cycles);
+  EXPECT_GE(f.ps_to_cycles_ceil(t), f.ps_to_cycles_floor(t));
+  // Ceil covers the duration: converting back does not lose time.
+  EXPECT_GE(f.cycles_to_ps(f.ps_to_cycles_ceil(t)) + Picoseconds{1}, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FrequencyProperty,
+    ::testing::Values(FreqCase{50'000'000, 1}, FreqCase{50'000'000, 999},
+                      FreqCase{100'000'000, 12345}, FreqCase{666'666'666, 7},
+                      FreqCase{1'000'000'000, 1'000'000},
+                      FreqCase{1'430'000'000, 33'333},
+                      FreqCase{3'200'000'000, 500'000'001}));
+
+TEST(Rng, SplitMix64IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, HashMixDiffersByKey) {
+  EXPECT_NE(hash_mix(1, 2, 3), hash_mix(1, 2, 4));
+  EXPECT_NE(hash_mix(1, 2, 3), hash_mix(2, 2, 3));
+  EXPECT_EQ(hash_mix(7, 8, 9), hash_mix(7, 8, 9));
+}
+
+TEST(Rng, UnitDoubleInRange) {
+  SplitMix64 sm(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = to_unit_double(sm.next());
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, XoshiroNextBelowIsBounded) {
+  Xoshiro256ss rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, XoshiroUniformish) {
+  Xoshiro256ss rng(1234);
+  int buckets[10] = {};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.next_below(10)];
+  for (int b : buckets) {
+    EXPECT_NEAR(static_cast<double>(b), n / 10.0, n / 10.0 * 0.1);
+  }
+}
+
+TEST(Stats, SummaryTracksMinMaxMean) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Stats, GeomeanOfPowers) {
+  const double xs[] = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const double xs[] = {1.0, 0.0};
+  EXPECT_THROW(geomean(xs), ContractViolation);
+}
+
+TEST(Stats, HistogramBucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-3.0);   // clamps into bucket 0
+  h.add(100.0);  // clamps into bucket 9
+  EXPECT_EQ(h.count_at(0), 2u);
+  EXPECT_EQ(h.count_at(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(5), 5.0);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, FmtFixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace easydram

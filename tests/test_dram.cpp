@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "dram/device.hpp"
+
+namespace easydram::dram {
+namespace {
+
+using namespace easydram::literals;
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest() : dev_(Geometry{}, ddr4_1333(), strong_variation()) {}
+
+  /// Variation config where every row tolerates very low tRCD and every
+  /// intra-subarray pair clones, so behaviour tests are deterministic.
+  static VariationConfig strong_variation() {
+    VariationConfig v;
+    v.min_trcd = Picoseconds{1000};
+    v.max_trcd = Picoseconds{1001};
+    v.rowclone_pair_success = 1.0;
+    return v;
+  }
+
+  std::array<std::uint8_t, 64> pattern(std::uint8_t seed) const {
+    std::array<std::uint8_t, 64> p{};
+    for (std::size_t i = 0; i < 64; ++i) p[i] = static_cast<std::uint8_t>(seed + i);
+    return p;
+  }
+
+  DramDevice dev_;
+  const TimingParams t_ = ddr4_1333();
+};
+
+TEST_F(DeviceTest, GeometryDefaultsMatchPaperCaseStudy) {
+  const Geometry g;
+  EXPECT_EQ(g.num_banks(), 16u);
+  EXPECT_EQ(g.rows_per_bank, 32768u);
+  EXPECT_EQ(g.row_bytes, 8192u);
+  EXPECT_EQ(g.cols_per_row(), 128u);
+  EXPECT_EQ(g.subarrays_per_bank(), 64u);
+  EXPECT_EQ(g.capacity_bytes(), 16ull * 32768 * 8192);
+}
+
+TEST_F(DeviceTest, TimingPresetSanity) {
+  EXPECT_EQ(t_.tRCD, 13500_ps);
+  EXPECT_EQ(t_.tRC, t_.tRAS + t_.tRP);
+  EXPECT_GT(t_.tRFC, t_.tRP);
+  EXPECT_GT(t_.tREFI, t_.tRFC);
+}
+
+TEST_F(DeviceTest, ActivateOpensRow) {
+  EXPECT_FALSE(dev_.open_row(3).has_value());
+  const IssueResult r = dev_.issue(Command::kAct, {3, 77, 0}, 0_ns);
+  EXPECT_EQ(r.violations, kNone);
+  ASSERT_TRUE(dev_.open_row(3).has_value());
+  EXPECT_EQ(*dev_.open_row(3), 77u);
+}
+
+TEST_F(DeviceTest, WriteThenReadReturnsData) {
+  const auto p = pattern(0x40);
+  dev_.issue(Command::kAct, {0, 5, 0}, 0_ns);
+  dev_.issue(Command::kWrite, {0, 5, 9}, 20_ns, p);
+  const IssueResult r = dev_.issue(Command::kRead, {0, 5, 9}, 60_ns);
+  EXPECT_TRUE(r.has_data);
+  EXPECT_TRUE(r.data_reliable);
+  EXPECT_EQ(std::memcmp(r.data.data(), p.data(), 64), 0);
+}
+
+TEST_F(DeviceTest, UnwrittenCellsReadZero) {
+  dev_.issue(Command::kAct, {1, 100, 0}, 0_ns);
+  const IssueResult r = dev_.issue(Command::kRead, {1, 100, 3}, 20_ns);
+  for (const std::uint8_t b : r.data) EXPECT_EQ(b, 0);
+}
+
+TEST_F(DeviceTest, EarlyReadFlagsTrcdViolation) {
+  dev_.issue(Command::kAct, {0, 1, 0}, 0_ns);
+  const IssueResult r = dev_.issue(Command::kRead, {0, 1, 0}, 5_ns);
+  EXPECT_TRUE(r.violations & kTrcd);
+  // Rows in this fixture tolerate ~1 ns, so 5 ns is still reliable.
+  EXPECT_TRUE(r.data_reliable);
+}
+
+TEST_F(DeviceTest, ReadBelowCellStrengthCorruptsDataAndCells) {
+  VariationConfig weak;
+  weak.min_trcd = 9_ns;
+  weak.max_trcd = Picoseconds{9001};
+  DramDevice dev(Geometry{}, t_, weak);
+  const auto p = pattern(0x11);
+  dev.issue(Command::kAct, {0, 1, 0}, 0_ns);
+  dev.issue(Command::kWrite, {0, 1, 0}, 20_ns, p);
+  dev.issue(Command::kPre, {0, 0, 0}, 60_ns);
+  // Re-open and read far below the 9 ns minimum.
+  dev.issue(Command::kAct, {0, 1, 0}, 100_ns);
+  const IssueResult r = dev.issue(Command::kRead, {0, 1, 0}, 102_ns);
+  EXPECT_FALSE(r.data_reliable);
+  EXPECT_NE(std::memcmp(r.data.data(), p.data(), 64), 0);
+  // The corrupted value was restored into the cells: a later nominal read
+  // sees the corruption too.
+  const IssueResult r2 =
+      dev.issue(Command::kRead, {0, 1, 0}, Picoseconds{102'000} + t_.tRCD);
+  EXPECT_NE(std::memcmp(r2.data.data(), p.data(), 64), 0);
+}
+
+TEST_F(DeviceTest, ReadAtOrAboveCellStrengthIsReliable) {
+  VariationConfig weak;
+  weak.min_trcd = 9_ns;
+  weak.max_trcd = Picoseconds{9001};
+  weak.line_jitter = Picoseconds{0};
+  DramDevice dev(Geometry{}, t_, weak);
+  const auto p = pattern(0x22);
+  dev.issue(Command::kAct, {0, 1, 0}, 0_ns);
+  dev.issue(Command::kWrite, {0, 1, 0}, 20_ns, p);
+  dev.issue(Command::kPre, {0, 0, 0}, 60_ns);
+  dev.issue(Command::kAct, {0, 1, 0}, 100_ns);
+  const IssueResult r = dev.issue(Command::kRead, {0, 1, 0}, 100_ns + Picoseconds{9001});
+  EXPECT_TRUE(r.data_reliable);
+  EXPECT_EQ(std::memcmp(r.data.data(), p.data(), 64), 0);
+}
+
+TEST_F(DeviceTest, RowClonePatternCopiesRow) {
+  const auto p = pattern(0x7);
+  // Rows 10 and 11 share subarray 0 of bank 2.
+  dev_.issue(Command::kAct, {2, 10, 0}, 0_ns);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    dev_.issue(Command::kWrite, {2, 10, c}, Picoseconds{20'000 + 8000 * c}, p);
+  }
+  dev_.issue(Command::kPre, {2, 0, 0}, 100_ns);
+
+  // ACT(src) -> early PRE -> early ACT(dst).
+  dev_.issue(Command::kAct, {2, 10, 0}, 200_ns);
+  dev_.issue(Command::kPre, {2, 0, 0}, 203_ns);
+  const IssueResult act2 = dev_.issue(Command::kAct, {2, 11, 0}, 206_ns);
+  EXPECT_TRUE(act2.rowclone_attempted);
+  EXPECT_TRUE(act2.rowclone_success);
+
+  // Destination row now holds the source data.
+  const IssueResult r = dev_.issue(Command::kRead, {2, 11, 2}, 206_ns + t_.tRCD);
+  EXPECT_EQ(std::memcmp(r.data.data(), p.data(), 64), 0);
+}
+
+TEST_F(DeviceTest, RowCloneAcrossSubarraysFails) {
+  // Rows 10 and 600 are in different subarrays (512 rows each).
+  dev_.issue(Command::kAct, {2, 10, 0}, 0_ns);
+  dev_.issue(Command::kPre, {2, 0, 0}, 3_ns);
+  const IssueResult act2 = dev_.issue(Command::kAct, {2, 600, 0}, 6_ns);
+  EXPECT_TRUE(act2.rowclone_attempted);
+  EXPECT_FALSE(act2.rowclone_success);
+}
+
+TEST_F(DeviceTest, SlowPreActSequenceIsNotRowClone) {
+  dev_.issue(Command::kAct, {2, 10, 0}, 0_ns);
+  dev_.issue(Command::kPre, {2, 0, 0}, 50_ns);  // after tRAS: normal.
+  const IssueResult act2 = dev_.issue(Command::kAct, {2, 11, 0}, 80_ns);
+  EXPECT_FALSE(act2.rowclone_attempted);
+}
+
+TEST_F(DeviceTest, EarlyPreThenSlowActIsNotRowClone) {
+  dev_.issue(Command::kAct, {2, 10, 0}, 0_ns);
+  dev_.issue(Command::kPre, {2, 0, 0}, 3_ns);           // early
+  const IssueResult act2 = dev_.issue(Command::kAct, {2, 11, 0}, 100_ns);  // late
+  EXPECT_FALSE(act2.rowclone_attempted);
+}
+
+TEST_F(DeviceTest, EarliestLegalReadHonorsTrcd) {
+  dev_.issue(Command::kAct, {4, 9, 0}, 10_ns);
+  const Picoseconds earliest = dev_.earliest_legal(Command::kRead, {4, 9, 0});
+  EXPECT_EQ(earliest, 10_ns + t_.tRCD);
+}
+
+TEST_F(DeviceTest, EarliestLegalActHonorsTrpAndTrc) {
+  dev_.issue(Command::kAct, {4, 9, 0}, 0_ns);
+  dev_.issue(Command::kPre, {4, 0, 0}, t_.tRAS);
+  const Picoseconds earliest = dev_.earliest_legal(Command::kAct, {4, 9, 0});
+  EXPECT_GE(earliest, t_.tRAS + t_.tRP);
+  EXPECT_GE(earliest, t_.tRC);
+}
+
+TEST_F(DeviceTest, FourActivateWindowEnforced) {
+  // Issue 4 ACTs to different bank groups back to back (legal spacing).
+  Picoseconds t{0};
+  for (std::uint32_t bg = 0; bg < 4; ++bg) {
+    dev_.issue(Command::kAct, {bg * 4, 1, 0}, t);
+    t += t_.tRRD_S;
+  }
+  const Picoseconds fifth = dev_.earliest_legal(Command::kAct, {1, 1, 0});
+  EXPECT_GE(fifth, t_.tFAW);  // First ACT at 0 + tFAW.
+}
+
+TEST_F(DeviceTest, ViolatingTfawIsFlagged) {
+  Picoseconds t{0};
+  for (std::uint32_t bg = 0; bg < 4; ++bg) {
+    dev_.issue(Command::kAct, {bg * 4, 1, 0}, t);
+    t += t_.tRRD_S;
+  }
+  const IssueResult r = dev_.issue(Command::kAct, {1, 1, 0}, t);
+  EXPECT_TRUE(r.violations & kTfaw);
+}
+
+TEST_F(DeviceTest, ReadClosedBankIsGarbage) {
+  const IssueResult r = dev_.issue(Command::kRead, {0, 0, 0}, 0_ns);
+  EXPECT_TRUE(r.violations & kBankNotActive);
+  EXPECT_FALSE(r.data_reliable);
+}
+
+TEST_F(DeviceTest, WriteToClosedBankIsDropped) {
+  const auto p = pattern(0x55);
+  const IssueResult w = dev_.issue(Command::kWrite, {0, 7, 0}, 0_ns, p);
+  EXPECT_TRUE(w.violations & kBankNotActive);
+  std::array<std::uint8_t, 64> out{};
+  dev_.backdoor_read({0, 7, 0}, out);
+  for (const std::uint8_t b : out) EXPECT_EQ(b, 0);
+}
+
+TEST_F(DeviceTest, RefreshRequiresIdleBanks) {
+  dev_.issue(Command::kAct, {0, 1, 0}, 0_ns);
+  const IssueResult r = dev_.issue(Command::kRef, {}, 10_ns);
+  EXPECT_TRUE(r.violations & kRefreshNotIdle);
+}
+
+TEST_F(DeviceTest, RefreshBookkeeping) {
+  EXPECT_EQ(dev_.refreshes_issued(), 0);
+  EXPECT_EQ(dev_.refreshes_due(t_.tREFI * 3 + 1_ns), 3);
+  dev_.issue(Command::kRef, {}, 0_ns);
+  EXPECT_EQ(dev_.refreshes_issued(), 1);
+  // ACT during tRFC is flagged.
+  const IssueResult r = dev_.issue(Command::kAct, {0, 1, 0}, 100_ns);
+  EXPECT_TRUE(r.violations & kTrfc);
+}
+
+TEST_F(DeviceTest, PreAllClosesEverything) {
+  dev_.issue(Command::kAct, {0, 1, 0}, 0_ns);
+  dev_.issue(Command::kAct, {5, 2, 0}, 10_ns);
+  dev_.issue(Command::kPreAll, {}, 100_ns);
+  EXPECT_FALSE(dev_.open_row(0).has_value());
+  EXPECT_FALSE(dev_.open_row(5).has_value());
+}
+
+TEST_F(DeviceTest, BackdoorRoundTrip) {
+  const auto p = pattern(0x99);
+  dev_.backdoor_write({7, 1234, 56}, p);
+  std::array<std::uint8_t, 64> out{};
+  dev_.backdoor_read({7, 1234, 56}, out);
+  EXPECT_EQ(std::memcmp(out.data(), p.data(), 64), 0);
+}
+
+TEST_F(DeviceTest, TimeMustBeMonotonic) {
+  dev_.issue(Command::kAct, {0, 1, 0}, 100_ns);
+  EXPECT_THROW(dev_.issue(Command::kPre, {0, 0, 0}, 50_ns), ContractViolation);
+}
+
+TEST_F(DeviceTest, CommandCountsTracked) {
+  dev_.issue(Command::kAct, {0, 1, 0}, 0_ns);
+  dev_.issue(Command::kRead, {0, 1, 0}, 20_ns);
+  dev_.issue(Command::kRead, {0, 1, 1}, 30_ns);
+  EXPECT_EQ(dev_.commands_issued(Command::kAct), 1);
+  EXPECT_EQ(dev_.commands_issued(Command::kRead), 2);
+  EXPECT_EQ(dev_.commands_issued(Command::kWrite), 0);
+}
+
+/// Property sweep: for every command kind, issuing at earliest_legal never
+/// reports a timing violation (state violations aside).
+class LegalIssueProperty : public ::testing::TestWithParam<TimingParams> {};
+
+TEST_P(LegalIssueProperty, EarliestLegalIsViolationFree) {
+  VariationConfig v;
+  v.min_trcd = Picoseconds{1000};
+  v.max_trcd = Picoseconds{1001};
+  DramDevice dev(Geometry{}, GetParam(), v);
+  const std::array<std::uint8_t, 64> zeros{};
+
+  // A mixed command workload across banks, always issued at earliest_legal.
+  std::uint32_t violations = 0;
+  for (int step = 0; step < 300; ++step) {
+    const std::uint32_t bank = static_cast<std::uint32_t>(step * 7 % 16);
+    const std::uint32_t row = static_cast<std::uint32_t>(step % 64);
+    const std::uint32_t col = static_cast<std::uint32_t>(step % 128);
+    const auto open = dev.open_row(bank);
+    if (!open) {
+      const Picoseconds at = dev.earliest_legal(Command::kAct, {bank, row, 0});
+      violations |= dev.issue(Command::kAct, {bank, row, 0}, at).violations;
+    } else if (step % 5 == 4) {
+      const Picoseconds at = dev.earliest_legal(Command::kPre, {bank, 0, 0});
+      violations |= dev.issue(Command::kPre, {bank, 0, 0}, at).violations;
+    } else if (step % 2 == 0) {
+      const DramAddress a{bank, *open, col};
+      const Picoseconds at = dev.earliest_legal(Command::kRead, a);
+      violations |= dev.issue(Command::kRead, a, at).violations;
+    } else {
+      const DramAddress a{bank, *open, col};
+      const Picoseconds at = dev.earliest_legal(Command::kWrite, a);
+      violations |= dev.issue(Command::kWrite, a, at, zeros).violations;
+    }
+  }
+  EXPECT_EQ(violations, kNone);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, LegalIssueProperty,
+                         ::testing::Values(ddr4_1333(), ddr4_2400()));
+
+}  // namespace
+}  // namespace easydram::dram

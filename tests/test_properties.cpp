@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "bender/interpreter.hpp"
+#include "common/rng.hpp"
+#include "sys/system.hpp"
+#include "workloads/builder.hpp"
+
+// Property-based suites: randomized (seeded, deterministic) traffic checked
+// against golden models and cross-configuration invariants.
+
+namespace easydram {
+namespace {
+
+using namespace easydram::literals;
+
+dram::VariationConfig strong_variation() {
+  dram::VariationConfig v;
+  v.min_trcd = Picoseconds{1000};
+  v.max_trcd = Picoseconds{1001};
+  v.rowclone_pair_success = 1.0;
+  return v;
+}
+
+// --------------------------------------------------------------------------
+// DRAM device vs. a trivial golden store under random legal traffic
+// --------------------------------------------------------------------------
+
+class DeviceGoldenModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeviceGoldenModel, LegalTrafficNeverCorruptsData) {
+  dram::Geometry geo;
+  dram::DramDevice dev(geo, dram::ddr4_1333(), strong_variation());
+  Xoshiro256ss rng(GetParam());
+
+  // Golden model: (bank,row,col) -> last written 64-byte value.
+  std::map<std::uint64_t, std::array<std::uint8_t, 64>> golden;
+  auto key = [](const dram::DramAddress& a) {
+    return (static_cast<std::uint64_t>(a.bank) << 40) |
+           (static_cast<std::uint64_t>(a.row) << 8) | a.col;
+  };
+
+  std::uint32_t violations = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const dram::DramAddress a{
+        static_cast<std::uint32_t>(rng.next_below(geo.num_banks())),
+        static_cast<std::uint32_t>(rng.next_below(256)),
+        static_cast<std::uint32_t>(rng.next_below(geo.cols_per_row()))};
+
+    // Open the right row legally.
+    const auto open = dev.open_row(a.bank);
+    if (open && *open != a.row) {
+      violations |= dev.issue(dram::Command::kPre, {a.bank, 0, 0},
+                              dev.earliest_legal(dram::Command::kPre, a))
+                        .violations;
+    }
+    if (!dev.open_row(a.bank)) {
+      violations |= dev.issue(dram::Command::kAct, a,
+                              dev.earliest_legal(dram::Command::kAct, a))
+                        .violations;
+    }
+
+    if (rng.next_below(2) == 0) {
+      std::array<std::uint8_t, 64> data{};
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+      violations |= dev.issue(dram::Command::kWrite, a,
+                              dev.earliest_legal(dram::Command::kWrite, a), data)
+                        .violations;
+      golden[key(a)] = data;
+    } else {
+      const dram::IssueResult r = dev.issue(
+          dram::Command::kRead, a, dev.earliest_legal(dram::Command::kRead, a));
+      EXPECT_TRUE(r.data_reliable);
+      const auto it = golden.find(key(a));
+      if (it != golden.end()) {
+        EXPECT_EQ(std::memcmp(r.data.data(), it->second.data(), 64), 0)
+            << "bank " << a.bank << " row " << a.row << " col " << a.col;
+      } else {
+        for (const std::uint8_t b : r.data) EXPECT_EQ(b, 0);
+      }
+    }
+  }
+  EXPECT_EQ(violations, dram::kNone);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeviceGoldenModel,
+                         ::testing::Values(1ull, 42ull, 0xDEADBEEFull, 777ull));
+
+// --------------------------------------------------------------------------
+// Bender programs against the same golden model (loops + registers)
+// --------------------------------------------------------------------------
+
+TEST(BenderGoldenModel, RegisterLoopWritesMatchDirectIssue) {
+  dram::Geometry geo;
+  dram::DramDevice dev(geo, dram::ddr4_1333(), strong_variation());
+  bender::Interpreter interp(dev);
+
+  // Program: for row in [50, 58): ACT row; WR col 3; PRE.
+  bender::Program p;
+  std::array<std::uint8_t, 64> data{};
+  data.fill(0x6B);
+  const std::uint32_t idx = p.add_wdata(data);
+  p.set_reg(0, 50);
+  p.loop_begin(8);
+  bender::Instruction act;
+  act.op = bender::Opcode::kDdr;
+  act.cmd = dram::Command::kAct;
+  act.bank = bender::Operand::imm(4);
+  act.row = bender::Operand::reg(0);
+  p.push(act);
+  bender::Instruction wr = act;
+  wr.cmd = dram::Command::kWrite;
+  wr.col = bender::Operand::imm(3);
+  wr.wdata_index = idx;
+  p.push(wr);
+  p.ddr(dram::Command::kPre, {4, 0, 0});
+  p.add_reg(0, 1);
+  p.loop_end();
+  const auto result = interp.execute(p, 0_ns);
+  EXPECT_EQ(result.violations, dram::kNone);
+
+  for (std::uint32_t row = 50; row < 58; ++row) {
+    std::array<std::uint8_t, 64> out{};
+    dev.backdoor_read({4, row, 3}, out);
+    EXPECT_EQ(std::memcmp(out.data(), data.data(), 64), 0) << "row " << row;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Cross-mode and cross-run invariants of the full system
+// --------------------------------------------------------------------------
+
+struct ModeCase {
+  timescale::SystemMode mode;
+  std::uint64_t seed;
+};
+
+class SystemInvariants : public ::testing::TestWithParam<ModeCase> {};
+
+TEST_P(SystemInvariants, DeterministicAndMonotonic) {
+  const auto [mode, seed] = GetParam();
+  auto make_cfg = [mode] {
+    sys::SystemConfig cfg;
+    switch (mode) {
+      case timescale::SystemMode::kTimeScaling:
+        cfg = sys::jetson_nano_time_scaling();
+        break;
+      case timescale::SystemMode::kNoTimeScaling:
+        cfg = sys::pidram_no_time_scaling();
+        break;
+      case timescale::SystemMode::kReference:
+        cfg = sys::validation_reference();
+        break;
+    }
+    cfg.variation = strong_variation();
+    return cfg;
+  };
+
+  auto make_trace = [seed] {
+    Xoshiro256ss rng(seed);
+    workloads::TraceBuilder b;
+    for (int i = 0; i < 800; ++i) {
+      const std::uint64_t addr = rng.next_below(1 << 22) & ~63ull;
+      switch (rng.next_below(4)) {
+        case 0: b.load(addr); break;
+        case 1: b.load_dependent(addr); break;
+        case 2: b.store(addr); break;
+        default: b.compute(static_cast<std::uint32_t>(rng.next_below(50))); b.load(addr);
+      }
+    }
+    return cpu::VectorTrace(b.take());
+  };
+
+  sys::EasyDramSystem s1(make_cfg());
+  auto t1 = make_trace();
+  const auto r1 = s1.run(t1);
+
+  sys::EasyDramSystem s2(make_cfg());
+  auto t2 = make_trace();
+  const auto r2 = s2.run(t2);
+
+  // Determinism: identical cycle counts, instruction counts, wall clocks.
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_EQ(r1.instructions, r2.instructions);
+  EXPECT_EQ(s1.wall().count, s2.wall().count);
+
+  // Sanity invariants: work happened, time moved forward, counters hang
+  // together.
+  EXPECT_GT(r1.cycles, 0);
+  EXPECT_GT(s1.wall().count, 0);
+  EXPECT_GE(s1.keeper().counters().mc(), 0);
+  EXPECT_FALSE(s1.keeper().counters().critical());
+  EXPECT_EQ(s1.smc_stats().requests_received, s2.smc_stats().requests_received);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, SystemInvariants,
+    ::testing::Values(ModeCase{timescale::SystemMode::kTimeScaling, 11},
+                      ModeCase{timescale::SystemMode::kTimeScaling, 97},
+                      ModeCase{timescale::SystemMode::kNoTimeScaling, 11},
+                      ModeCase{timescale::SystemMode::kNoTimeScaling, 97},
+                      ModeCase{timescale::SystemMode::kReference, 11},
+                      ModeCase{timescale::SystemMode::kReference, 97}));
+
+TEST(SystemInvariants, ReleaseTagsNeverPrecedeIssueTags) {
+  sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
+  cfg.variation = strong_variation();
+  sys::EasyDramSystem sysm(cfg);
+  Xoshiro256ss rng(5);
+  std::int64_t now = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += static_cast<std::int64_t>(rng.next_below(300));
+    const std::uint64_t addr = rng.next_below(1 << 20) & ~63ull;
+    const auto id = sysm.submit_read(addr, now);
+    const cpu::Completion c = sysm.wait(id);
+    EXPECT_GT(c.release_cycle, now);
+    now = std::max(now, c.release_cycle);
+  }
+}
+
+TEST(SystemInvariants, WallClockCoversDramBusyTime) {
+  sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
+  cfg.variation = strong_variation();
+  sys::EasyDramSystem sysm(cfg);
+  workloads::TraceBuilder b;
+  for (int i = 0; i < 300; ++i) {
+    b.load_dependent(static_cast<std::uint64_t>(i) * 8192);
+  }
+  cpu::VectorTrace trace(b.take());
+  sysm.run(trace);
+  EXPECT_GE(sysm.wall(), sysm.smc_stats().dram_busy);
+}
+
+}  // namespace
+}  // namespace easydram

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "smc/easyapi.hpp"
+#include "smc/rowclone_alloc.hpp"
+#include "smc/trcd_profiler.hpp"
+
+namespace easydram::smc {
+namespace {
+
+using namespace easydram::literals;
+
+/// Harness with the default (paper-calibrated) variation model.
+struct Harness {
+  explicit Harness(dram::VariationConfig var = dram::VariationConfig{})
+      : device(geo, dram::ddr4_1333(), var),
+        tile(tile::TileConfig{}),
+        mapper(geo),
+        keeper(timescale::SystemMode::kTimeScaling,
+               timescale::DomainConfig{Frequency::megahertz(100),
+                                       Frequency::gigahertz(1)},
+               Frequency::megahertz(100), 24),
+        api(tile, device, mapper, keeper) {}
+
+  dram::Geometry geo;
+  dram::DramDevice device;
+  tile::EasyTile tile;
+  LinearMapper mapper;
+  timescale::TimeKeeper keeper;
+  EasyApi api;
+};
+
+// --------------------------------------------------------------------------
+// tRCD profiler
+// --------------------------------------------------------------------------
+
+TEST(TrcdProfilerTest, AgreesWithGroundTruth) {
+  Harness h;
+  TrcdProfiler profiler(h.api, {12000_ps, 10500_ps, 9000_ps, 7500_ps});
+  const auto& var = h.device.variation();
+  for (std::uint32_t row = 0; row < 24; ++row) {
+    const RowProfile p = profiler.profile_row(0, row);
+    const Picoseconds truth = var.row_min_trcd(0, row);
+    // The measured minimum is the smallest tested value >= the true value.
+    EXPECT_GE(p.min_reliable, truth);
+    if (p.min_reliable > 7500_ps) {
+      // The next lower test value must be below the true minimum.
+      const Picoseconds next_lower =
+          p.min_reliable == 12000_ps ? 10500_ps
+          : p.min_reliable == 10500_ps ? 9000_ps
+                                       : 7500_ps;
+      EXPECT_LT(next_lower, truth);
+    }
+  }
+}
+
+TEST(TrcdProfilerTest, ReliableAtNominalAlways) {
+  Harness h;
+  TrcdProfiler profiler(h.api, {13500_ps});
+  for (std::uint32_t row = 0; row < 16; ++row) {
+    EXPECT_TRUE(profiler.row_reliable_at(1, row, 13500_ps));
+  }
+}
+
+TEST(TrcdProfilerTest, SampledProfilingTestsFewerLines) {
+  Harness h;
+  TrcdProfiler profiler(h.api, {9000_ps});
+  profiler.row_reliable_at(0, 0, 9000_ps, /*lines_to_test=*/8);
+  EXPECT_EQ(profiler.lines_tested(), 8);
+}
+
+TEST(TrcdProfilerTest, ProfilingDoesNotChargeTimelines) {
+  Harness h;
+  TrcdProfiler profiler(h.api, {9000_ps});
+  profiler.profile_row(0, 0);
+  EXPECT_EQ(h.keeper.counters().mc(), 0);
+  EXPECT_EQ(h.keeper.wall().count, 0);
+}
+
+TEST(WeakRowFilterTest, MatchesDirectClassification) {
+  Harness h;
+  const std::uint32_t banks[] = {0, 1};
+  WeakRowFilterStats stats;
+  const BloomFilter filter = build_weak_row_filter(
+      h.api, banks, /*rows_per_bank=*/256, 9000_ps, 1 << 16, 4, &stats);
+  EXPECT_EQ(stats.rows_profiled, 512);
+
+  // Every truly weak row must be flagged (no false negatives).
+  const auto& var = h.device.variation();
+  std::int64_t weak_truth = 0;
+  for (std::uint32_t bank : banks) {
+    for (std::uint32_t row = 0; row < 256; ++row) {
+      if (var.row_min_trcd(bank, row) > 9000_ps) {
+        ++weak_truth;
+        EXPECT_TRUE(filter.maybe_contains(
+            (static_cast<std::uint64_t>(bank) << 32) | row));
+      }
+    }
+  }
+  EXPECT_EQ(stats.weak_rows, weak_truth);
+  EXPECT_NEAR(stats.weak_fraction, 0.155, 0.08);
+}
+
+// --------------------------------------------------------------------------
+// RowClone pair testing and allocation
+// --------------------------------------------------------------------------
+
+TEST(RowClonePairTesterTest, AgreesWithVariationModel) {
+  Harness h;
+  RowCloneMap map;
+  RowClonePairTester tester(h.api, /*trials=*/4);
+  const auto& var = h.device.variation();
+  int checked = 0;
+  for (std::uint32_t src = 0; src < 40; src += 2) {
+    const std::uint32_t dst = src + 1;
+    const bool measured = tester.test(2, src, dst, map);
+    EXPECT_EQ(measured, var.rowclone_pair_ok(2, src, dst));
+    ++checked;
+  }
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(checked));
+}
+
+TEST(RowClonePairTesterTest, CrossSubarrayAlwaysFails) {
+  Harness h;
+  RowCloneMap map;
+  RowClonePairTester tester(h.api, /*trials=*/2);
+  EXPECT_FALSE(tester.test(0, 100, 700, map));
+}
+
+TEST(RowClonePairTesterTest, CachesVerdicts) {
+  Harness h;
+  RowCloneMap map;
+  RowClonePairTester tester(h.api, /*trials=*/4);
+  tester.test(0, 0, 1, map);
+  const std::int64_t trials_before = tester.trials_run();
+  tester.test(0, 0, 1, map);  // Cached: no new trials.
+  EXPECT_EQ(tester.trials_run(), trials_before);
+}
+
+TEST(RowCloneMapTest, UnknownPairsAreNotClonable) {
+  RowCloneMap map;
+  EXPECT_FALSE(map.clonable(0, 1, 2));
+  map.record(0, 1, 2, true);
+  EXPECT_TRUE(map.clonable(0, 1, 2));
+  map.record(0, 1, 3, false);
+  EXPECT_FALSE(map.clonable(0, 1, 3));
+  EXPECT_EQ(map.known(0, 9, 9), std::nullopt);
+}
+
+TEST(RowCloneAllocatorTest, CopyPairsShareSubarray) {
+  Harness h;
+  RowCloneMap map;
+  RowClonePairTester tester(h.api, /*trials=*/2);
+  RowCloneAllocator alloc(h.api, map, tester);
+  const auto plan = alloc.plan_copy(64);
+  ASSERT_EQ(plan.size(), 64u);
+  int rowclone_rows = 0;
+  for (const CopyPlanEntry& e : plan) {
+    if (!e.use_rowclone) continue;
+    ++rowclone_rows;
+    EXPECT_EQ(e.src.bank, e.dst.bank);
+    EXPECT_TRUE(h.geo.same_subarray(e.src.row, e.dst.row));
+    EXPECT_TRUE(map.clonable(e.src.bank, e.src.row, e.dst.row));
+  }
+  // With the default 95 % pair success and 8 candidates, nearly every row
+  // finds a verified destination.
+  EXPECT_GE(rowclone_rows, 60);
+}
+
+TEST(RowCloneAllocatorTest, InitUsesOnePatternRowPerSubarray) {
+  Harness h;
+  RowCloneMap map;
+  RowClonePairTester tester(h.api, /*trials=*/2);
+  RowCloneAllocator alloc(h.api, map, tester);
+  const auto plan = alloc.plan_init(600);  // Spans two subarrays.
+  ASSERT_EQ(plan.size(), 600u);
+  std::set<std::uint64_t> pattern_rows;
+  for (const InitPlanEntry& e : plan) {
+    EXPECT_EQ(e.dst.bank, e.pattern_src.bank);
+    EXPECT_TRUE(h.geo.same_subarray(e.dst.row, e.pattern_src.row));
+    pattern_rows.insert((static_cast<std::uint64_t>(e.pattern_src.bank) << 32) |
+                        e.pattern_src.row);
+    // Destination rows never collide with reserved pattern rows.
+    EXPECT_NE(e.dst.row, e.pattern_src.row);
+  }
+  EXPECT_EQ(pattern_rows.size(), 2u);
+}
+
+TEST(RowCloneAllocatorTest, InitFallbackRateTracksPairSuccess) {
+  dram::VariationConfig var;
+  var.rowclone_pair_success = 0.5;
+  Harness h(var);
+  RowCloneMap map;
+  RowClonePairTester tester(h.api, /*trials=*/2);
+  RowCloneAllocator alloc(h.api, map, tester);
+  const auto plan = alloc.plan_init(400);
+  int fallbacks = 0;
+  for (const InitPlanEntry& e : plan) {
+    if (!e.use_rowclone) ++fallbacks;
+  }
+  EXPECT_NEAR(static_cast<double>(fallbacks) / 400.0, 0.5, 0.12);
+}
+
+TEST(RowCloneAllocatorTest, InterleavedCopySpreadsAcrossBanks) {
+  Harness h;
+  RowCloneMap map;
+  RowClonePairTester tester(h.api, /*trials=*/2);
+  RowCloneAllocator alloc(h.api, map, tester);
+  const auto plan = alloc.plan_copy_interleaved(32);
+  ASSERT_EQ(plan.size(), 32u);
+  std::set<std::uint32_t> banks_used;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    banks_used.insert(plan[i].src.bank);
+    EXPECT_EQ(plan[i].src.bank, i % h.geo.num_banks());
+    if (plan[i].use_rowclone) {
+      EXPECT_EQ(plan[i].src.bank, plan[i].dst.bank);
+      EXPECT_TRUE(h.geo.same_subarray(plan[i].src.row, plan[i].dst.row));
+    }
+  }
+  EXPECT_EQ(banks_used.size(), h.geo.num_banks());
+}
+
+TEST(RowCloneAllocatorTest, InterleavedRowsAreUnique) {
+  Harness h;
+  RowCloneMap map;
+  RowClonePairTester tester(h.api, /*trials=*/1);
+  RowCloneAllocator alloc(h.api, map, tester);
+  const auto plan = alloc.plan_copy_interleaved(64);
+  std::set<std::uint64_t> seen;
+  for (const CopyPlanEntry& e : plan) {
+    EXPECT_TRUE(
+        seen.insert((static_cast<std::uint64_t>(e.src.bank) << 32) | e.src.row)
+            .second);
+    EXPECT_TRUE(
+        seen.insert((static_cast<std::uint64_t>(e.dst.bank) << 32) | e.dst.row)
+            .second);
+  }
+}
+
+TEST(RowCloneAllocatorTest, AllocationsAdvance) {
+  Harness h;
+  RowCloneMap map;
+  RowClonePairTester tester(h.api, /*trials=*/1);
+  RowCloneAllocator alloc(h.api, map, tester);
+  const auto a = alloc.plan_copy(4);
+  const auto b = alloc.plan_copy(4);
+  // No row is handed out twice.
+  std::set<std::uint64_t> seen;
+  for (const auto& plan : {a, b}) {
+    for (const CopyPlanEntry& e : plan) {
+      EXPECT_TRUE(
+          seen.insert((static_cast<std::uint64_t>(e.src.bank) << 32) | e.src.row)
+              .second);
+      EXPECT_TRUE(
+          seen.insert((static_cast<std::uint64_t>(e.dst.bank) << 32) | e.dst.row)
+              .second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easydram::smc

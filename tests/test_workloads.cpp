@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/builder.hpp"
+#include "workloads/copyinit.hpp"
+#include "workloads/lmbench.hpp"
+#include "workloads/polybench.hpp"
+
+namespace easydram::workloads {
+namespace {
+
+TEST(BuilderTest, EmitsRecordsWithGaps) {
+  TraceBuilder b(3);
+  b.load(64);
+  b.store(128);
+  b.compute(100);
+  b.load(192);
+  const auto t = b.take();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].op, cpu::Op::kLoad);
+  EXPECT_EQ(t[0].gap_instructions, 3u);
+  EXPECT_EQ(t[2].gap_instructions, 103u);  // compute folded into next gap.
+}
+
+TEST(LayoutTest, AllocationsAreAlignedAndDisjoint) {
+  Layout l;
+  const std::uint64_t a = l.alloc(100);
+  const std::uint64_t b = l.alloc(100);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+}
+
+TEST(LmbenchTest, VisitsEveryLineOncePerPass) {
+  const auto t = make_lmbench_chase(64 * 128, /*passes=*/2);
+  EXPECT_EQ(t.size(), 256u);
+  std::set<std::uint64_t> first_pass;
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(t[i].op, cpu::Op::kLoadDependent);
+    first_pass.insert(t[i].addr);
+  }
+  EXPECT_EQ(first_pass.size(), 128u);
+}
+
+TEST(LmbenchTest, Deterministic) {
+  const auto a = make_lmbench_chase(64 * 64, 1);
+  const auto b = make_lmbench_chase(64 * 64, 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].addr, b[i].addr);
+}
+
+TEST(LmbenchTest, LoadsPerPass) {
+  EXPECT_EQ(lmbench_loads_per_pass(8192), 128u);
+}
+
+TEST(PolybenchTest, AllKernelsGenerate) {
+  for (const PolybenchKernel& k : all_kernels()) {
+    const auto t = k.generate();
+    EXPECT_GT(t.size(), 10'000u) << k.name;
+    EXPECT_LT(t.size(), 20'000'000u) << k.name;
+  }
+}
+
+TEST(PolybenchTest, TwentyEightKernels) {
+  EXPECT_EQ(all_kernels().size(), 28u);
+}
+
+TEST(PolybenchTest, Fig13SubsetExists) {
+  EXPECT_EQ(fig13_names().size(), 11u);
+  for (const auto name : fig13_names()) {
+    EXPECT_NO_THROW(generate_kernel(name));
+  }
+}
+
+TEST(PolybenchTest, UnknownKernelRejected) {
+  EXPECT_THROW(generate_kernel("nonexistent"), ContractViolation);
+}
+
+TEST(PolybenchTest, AddressesStayWithinModestFootprint) {
+  for (const PolybenchKernel& k : all_kernels()) {
+    const auto t = k.generate();
+    std::uint64_t max_addr = 0;
+    for (const auto& r : t) max_addr = std::max(max_addr, r.addr);
+    EXPECT_LT(max_addr, 64ull << 20) << k.name;  // < 64 MiB footprint.
+  }
+}
+
+TEST(PolybenchTest, KernelsSpanMemoryIntensities) {
+  // durbin's working set is tiny (cache resident); gemver streams a large
+  // matrix repeatedly. Their distinct-line footprints must reflect that.
+  auto lines_of = [](std::string_view name) {
+    std::set<std::uint64_t> lines;
+    for (const auto& r : generate_kernel(name)) lines.insert(r.addr / 64);
+    return lines.size();
+  };
+  EXPECT_GT(lines_of("gemver"), 20 * lines_of("durbin"));
+}
+
+// --------------------------------------------------------------------------
+// Copy/Init workload generator
+// --------------------------------------------------------------------------
+
+struct CopyInitHarness {
+  CopyInitHarness() : mapper(geo) {}
+
+  std::vector<smc::CopyPlanEntry> copy_plan(std::size_t rows, bool all_rowclone) {
+    std::vector<smc::CopyPlanEntry> plan;
+    for (std::size_t i = 0; i < rows; ++i) {
+      smc::CopyPlanEntry e;
+      e.src = smc::RowRef{0, static_cast<std::uint32_t>(2 * i)};
+      e.dst = smc::RowRef{0, static_cast<std::uint32_t>(2 * i + 1)};
+      e.use_rowclone = all_rowclone;
+      plan.push_back(e);
+    }
+    return plan;
+  }
+
+  std::vector<smc::InitPlanEntry> init_plan(std::size_t rows) {
+    std::vector<smc::InitPlanEntry> plan;
+    for (std::size_t i = 0; i < rows; ++i) {
+      smc::InitPlanEntry e;
+      e.dst = smc::RowRef{0, static_cast<std::uint32_t>(i)};
+      e.pattern_src = smc::RowRef{0, 511};
+      e.use_rowclone = true;
+      plan.push_back(e);
+    }
+    return plan;
+  }
+
+  dram::Geometry geo;
+  smc::LinearMapper mapper;
+};
+
+std::vector<cpu::TraceRecord> collect(cpu::TraceSource& src,
+                                      bool rowclone_feedback = true) {
+  std::vector<cpu::TraceRecord> out;
+  cpu::TraceRecord r;
+  bool ok = true;
+  while (src.next(r, ok)) {
+    out.push_back(r);
+    ok = r.op == cpu::Op::kRowClone ? rowclone_feedback : ok;
+  }
+  return out;
+}
+
+TEST(CopyInitTest, CpuBaselineEmitsLoadStorePairs) {
+  CopyInitHarness h;
+  CopyInitParams p;
+  p.kind = CopyInitParams::Kind::kCopy;
+  p.use_rowclone = false;
+  CopyInitTrace trace(p, h.mapper, h.copy_plan(2, false), {});
+  const auto recs = collect(trace);
+  std::int64_t loads = 0, stores = 0, markers = 0;
+  for (const auto& r : recs) {
+    loads += r.op == cpu::Op::kLoadDependent;  // memcpy load->store chain.
+    stores += r.op == cpu::Op::kStore;
+    markers += r.op == cpu::Op::kMarker;
+  }
+  EXPECT_EQ(loads, 2 * 128);
+  EXPECT_EQ(stores, 2 * 128);
+  EXPECT_EQ(markers, 2);
+}
+
+TEST(CopyInitTest, RowCloneVariantEmitsClones) {
+  CopyInitHarness h;
+  CopyInitParams p;
+  p.kind = CopyInitParams::Kind::kCopy;
+  p.use_rowclone = true;
+  CopyInitTrace trace(p, h.mapper, h.copy_plan(3, true), {});
+  const auto recs = collect(trace);
+  std::int64_t clones = 0, loads = 0;
+  for (const auto& r : recs) {
+    clones += r.op == cpu::Op::kRowClone;
+    loads += r.op == cpu::Op::kLoadDependent;
+  }
+  EXPECT_EQ(clones, 3);
+  EXPECT_EQ(loads, 0);
+}
+
+TEST(CopyInitTest, FailedCloneFallsBackToCpu) {
+  CopyInitHarness h;
+  CopyInitParams p;
+  p.kind = CopyInitParams::Kind::kCopy;
+  p.use_rowclone = true;
+  CopyInitTrace trace(p, h.mapper, h.copy_plan(2, true), {});
+  const auto recs = collect(trace, /*rowclone_feedback=*/false);
+  std::int64_t clones = 0, loads = 0;
+  for (const auto& r : recs) {
+    clones += r.op == cpu::Op::kRowClone;
+    loads += r.op == cpu::Op::kLoadDependent;
+  }
+  EXPECT_EQ(clones, 2);
+  EXPECT_EQ(loads, 2 * 128);  // Both rows redone by the CPU.
+}
+
+TEST(CopyInitTest, UnverifiedPlanEntrySkipsCloneEntirely) {
+  CopyInitHarness h;
+  CopyInitParams p;
+  p.kind = CopyInitParams::Kind::kCopy;
+  p.use_rowclone = true;
+  auto plan = h.copy_plan(2, true);
+  plan[1].use_rowclone = false;
+  CopyInitTrace trace(p, h.mapper, std::move(plan), {});
+  const auto recs = collect(trace);
+  std::int64_t clones = 0, loads = 0;
+  for (const auto& r : recs) {
+    clones += r.op == cpu::Op::kRowClone;
+    loads += r.op == cpu::Op::kLoadDependent;
+  }
+  EXPECT_EQ(clones, 1);
+  EXPECT_EQ(loads, 128);
+}
+
+TEST(CopyInitTest, ClflushSettingEmitsWarmAndFlushes) {
+  CopyInitHarness h;
+  CopyInitParams p;
+  p.kind = CopyInitParams::Kind::kCopy;
+  p.use_rowclone = true;
+  p.clflush = true;
+  CopyInitTrace trace(p, h.mapper, h.copy_plan(2, true), {});
+  const auto recs = collect(trace);
+  std::int64_t flushes = 0, warm_stores = 0;
+  bool seen_marker = false;
+  for (const auto& r : recs) {
+    if (r.op == cpu::Op::kMarker) seen_marker = true;
+    if (r.op == cpu::Op::kFlush) {
+      flushes++;
+      EXPECT_TRUE(seen_marker);  // Flushes are inside the measured region.
+    }
+    if (r.op == cpu::Op::kStore && !seen_marker) ++warm_stores;
+  }
+  EXPECT_EQ(warm_stores, 2 * 128);       // Warm phase dirties the source.
+  EXPECT_EQ(flushes, 2 * (128 + 128));   // Source + destination lines.
+}
+
+TEST(CopyInitTest, InitUsesPatternSourceRow) {
+  CopyInitHarness h;
+  CopyInitParams p;
+  p.kind = CopyInitParams::Kind::kInit;
+  p.use_rowclone = true;
+  CopyInitTrace trace(p, h.mapper, {}, h.init_plan(4));
+  const auto recs = collect(trace);
+  const std::uint64_t pattern_base =
+      h.mapper.to_physical(dram::DramAddress{0, 511, 0});
+  std::int64_t clones = 0;
+  for (const auto& r : recs) {
+    if (r.op != cpu::Op::kRowClone) continue;
+    ++clones;
+    EXPECT_EQ(r.addr, pattern_base);
+  }
+  EXPECT_EQ(clones, 4);
+}
+
+TEST(CopyInitTest, MeasuredRegionBoundedByTwoMarkers) {
+  CopyInitHarness h;
+  CopyInitParams p;
+  p.kind = CopyInitParams::Kind::kInit;
+  p.use_rowclone = false;
+  CopyInitTrace trace(p, h.mapper, {}, h.init_plan(2));
+  const auto recs = collect(trace);
+  std::int64_t markers = 0;
+  for (const auto& r : recs) markers += r.op == cpu::Op::kMarker;
+  EXPECT_EQ(markers, 2);
+  EXPECT_EQ(recs.back().op, cpu::Op::kMarker);
+}
+
+}  // namespace
+}  // namespace easydram::workloads
