@@ -1,139 +1,21 @@
 // Ablation studies of the design choices DESIGN.md calls out. These go
 // beyond the paper's figures: they quantify why each mechanism exists by
-// turning it off (or sweeping it) on a fixed workload set.
+// turning it off (or sweeping it) on a fixed workload set
+// (src/cli/scenarios_{validation,rowclone}.cpp hold the studies).
 //
 //  A1  Row-hit batch draining (row_batch_limit 1 / 4 / 16)
 //  A2  Scheduling policy (FCFS / FR-FCFS / PAR-BS / BLISS)
 //  A3  Software vs. hardware memory controller latency
 //  A4  RowClone bank interleaving (the §7.1 future-work optimization)
 
-#include <iostream>
+#include "cli/scenario.hpp"
 
-#include "bench_util.hpp"
-#include "smc/rowclone_alloc.hpp"
-#include "workloads/polybench.hpp"
-
-using namespace easydram;
-
-namespace {
-
-dram::VariationConfig strong_variation() {
-  dram::VariationConfig v;
-  v.min_trcd = Picoseconds{1000};
-  v.max_trcd = Picoseconds{1001};
-  v.rowclone_pair_success = 1.0;
-  return v;
-}
-
-std::int64_t run_kernel(const sys::SystemConfig& cfg, std::string_view name) {
-  sys::EasyDramSystem sysm(cfg);
-  auto records = workloads::generate_kernel(name);
-  cpu::VectorTrace trace(std::move(records));
-  return sysm.run(trace).cycles;
-}
-
-void ablate_batch_limit() {
-  std::cout << "A1. Row-hit batch draining (gesummv execution cycles)\n";
-  TextTable t;
-  t.set_header({"row_batch_limit", "cycles", "vs limit=16"});
-  std::int64_t base = 0;
-  for (const std::size_t limit : {16u, 4u, 1u}) {
-    sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
-    // The limit lives in ControllerOptions; thread it through a custom
-    // scheduler-factory-free path by rebuilding the default controller.
-    cfg.row_batch_limit = limit;
-    const std::int64_t cycles = run_kernel(cfg, "gesummv");
-    if (limit == 16) base = cycles;
-    t.add_row({std::to_string(limit), std::to_string(cycles),
-               fmt_fixed(100.0 * (static_cast<double>(cycles) /
-                                      static_cast<double>(base) -
-                                  1.0),
-                         1) +
-                   "%"});
-  }
-  t.print(std::cout);
-  std::cout << '\n';
-}
-
-void ablate_scheduler() {
-  std::cout << "A2. Scheduling policy (mvt execution cycles)\n";
-  TextTable t;
-  t.set_header({"policy", "cycles"});
-  struct Policy {
-    const char* name;
-    std::function<std::unique_ptr<smc::Scheduler>()> factory;
+int main(int argc, char** argv) {
+  static constexpr std::string_view kAblations[] = {
+      "ablation_batch_limit",
+      "ablation_scheduler",
+      "ablation_hardware_mc",
+      "ablation_rowclone_interleaving",
   };
-  const Policy policies[] = {
-      {"FCFS", [] { return std::make_unique<smc::FcfsScheduler>(); }},
-      {"FR-FCFS", [] { return std::make_unique<smc::FrfcfsScheduler>(); }},
-      {"PAR-BS(8)", [] { return std::make_unique<smc::BatchScheduler>(8); }},
-      {"BLISS(4)", [] { return std::make_unique<smc::BlacklistScheduler>(4); }},
-  };
-  for (const Policy& p : policies) {
-    sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
-    cfg.scheduler_factory = p.factory;
-    t.add_row({p.name, std::to_string(run_kernel(cfg, "mvt"))});
-  }
-  t.print(std::cout);
-  std::cout << '\n';
-}
-
-void ablate_hardware_mc() {
-  std::cout << "A3. Software vs hardware MC (trisolv execution cycles)\n";
-  TextTable t;
-  t.set_header({"controller", "cycles"});
-  sys::SystemConfig soft = sys::jetson_nano_time_scaling();
-  t.add_row({"software (SMC cycles charged)", std::to_string(run_kernel(soft, "trisolv"))});
-  sys::SystemConfig hard = soft;
-  hard.hardware_mc = true;
-  hard.mc_sched_latency_cycles = 8;
-  t.add_row({"hardware (8-cycle pipeline)", std::to_string(run_kernel(hard, "trisolv"))});
-  t.print(std::cout);
-  std::cout << '\n';
-}
-
-void ablate_interleaving() {
-  std::cout << "A4. RowClone bank interleaving (2 MiB copy, measured cycles)\n";
-  constexpr std::size_t kRows = 256;
-  TextTable t;
-  t.set_header({"allocation", "cycles", "DRAM busy (us)"});
-
-  for (const bool interleaved : {false, true}) {
-    sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
-    cfg.variation = strong_variation();
-    sys::EasyDramSystem sysm(cfg);
-    smc::RowClonePairTester tester(sysm.api(), 4);
-    smc::RowCloneAllocator alloc(sysm.api(), sysm.clone_map(), tester);
-    const auto plan = interleaved ? alloc.plan_copy_interleaved(kRows)
-                                  : alloc.plan_copy(kRows);
-    sysm.enable_rowclone();
-
-    workloads::CopyInitParams params;
-    params.kind = workloads::CopyInitParams::Kind::kCopy;
-    params.use_rowclone = true;
-    const smc::LinearMapper mapper(sysm.device().geometry());
-    workloads::CopyInitTrace trace(params, mapper, plan, {});
-    const cpu::RunResult r = sysm.run(trace);
-    const std::int64_t cycles =
-        r.markers.size() >= 2 ? r.markers.back() - r.markers.front() : r.cycles;
-    t.add_row({interleaved ? "bank-interleaved" : "bank-sequential",
-               std::to_string(cycles),
-               fmt_fixed(sysm.smc_stats().dram_busy.microseconds(), 1)});
-  }
-  t.print(std::cout);
-  std::cout << "\n(The single-issue MMIO trigger serializes operations, so\n"
-               "interleaving mainly spreads activations; with a batched\n"
-               "trigger interface it would overlap in-DRAM copies.)\n";
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("Ablations: design choices of this reproduction",
-                "DESIGN.md §4 (beyond the paper's figures)");
-  ablate_batch_limit();
-  ablate_scheduler();
-  ablate_hardware_mc();
-  ablate_interleaving();
-  return 0;
+  return easydram::cli::scenario_main(kAblations, argc, argv);
 }

@@ -1,124 +1,10 @@
 // Regenerates Figure 10: RowClone - No Flush execution-time speedup for the
-// Copy (a) and Init (b) microbenchmarks over data sizes 8 KiB .. 16 MiB,
-// normalized to each configuration's CPU load/store baseline, on three
-// evaluation stacks: EasyDRAM - No Time Scaling (PiDRAM-like system),
-// EasyDRAM - Time Scaling (Cortex A57 target), and the Ramulator-2.0-like
-// software simulator (idealized RowClone: every pair succeeds).
+// Copy (a) and Init (b) microbenchmarks over data sizes 8 KiB .. 16 MiB.
+// The sweep lives in src/cli/scenarios_rowclone.cpp; this binary is the
+// standalone entry point (flags: --seed/--iters/--threads/--out).
 
-#include <iostream>
-
-#include "bench_util.hpp"
-#include "common/stats.hpp"
-#include "ramulator/ramulator.hpp"
-
-using namespace easydram;
-
-namespace {
-
-double easydram_speedup(const sys::SystemConfig& cfg,
-                        workloads::CopyInitParams::Kind kind, std::size_t rows,
-                        bool clflush) {
-  workloads::CopyInitParams base;
-  base.kind = kind;
-  base.use_rowclone = false;
-  base.clflush = clflush;
-  const auto cpu = bench::run_copyinit_easydram(cfg, base, rows);
-
-  workloads::CopyInitParams rc = base;
-  rc.use_rowclone = true;
-  const auto rowclone = bench::run_copyinit_easydram(cfg, rc, rows);
-
-  return static_cast<double>(cpu.measured_cycles) /
-         static_cast<double>(rowclone.measured_cycles);
-}
-
-double ramulator_speedup(workloads::CopyInitParams::Kind kind, std::size_t rows,
-                         bool clflush) {
-  // Ramulator 2.0's modelling gap (paper footnote 6): all pairs clone.
-  std::vector<smc::CopyPlanEntry> copy_plan;
-  std::vector<smc::InitPlanEntry> init_plan;
-  for (std::size_t i = 0; i < rows; ++i) {
-    if (kind == workloads::CopyInitParams::Kind::kCopy) {
-      smc::CopyPlanEntry e;
-      e.src = smc::RowRef{0, static_cast<std::uint32_t>(2 * i)};
-      e.dst = smc::RowRef{0, static_cast<std::uint32_t>(2 * i + 1)};
-      e.use_rowclone = true;
-      copy_plan.push_back(e);
-    } else {
-      smc::InitPlanEntry e;
-      e.dst = smc::RowRef{0, static_cast<std::uint32_t>(i)};
-      e.pattern_src = smc::RowRef{0, 32767};
-      e.use_rowclone = true;
-      init_plan.push_back(e);
-    }
-  }
-  const dram::Geometry geo;
-  const smc::LinearMapper mapper(geo);
-
-  auto run = [&](bool use_rowclone) {
-    workloads::CopyInitParams p;
-    p.kind = kind;
-    p.use_rowclone = use_rowclone;
-    p.clflush = clflush;
-    workloads::CopyInitTrace trace(p, mapper, copy_plan, init_plan);
-    ramulator::RamulatorSim sim{ramulator::RamulatorConfig{}};
-    const auto stats = sim.run(trace);
-    if (stats.markers.size() >= 2) return stats.markers.back() - stats.markers.front();
-    return stats.cycles;
-  };
-  return static_cast<double>(run(false)) / static_cast<double>(run(true));
-}
-
-}  // namespace
+#include "cli/scenario.hpp"
 
 int main(int argc, char** argv) {
-  const bool clflush = argc > 1 && std::string(argv[1]) == "--clflush";
-  bench::banner(clflush ? "Figure 11: RowClone - CLFLUSH speedup"
-                        : "Figure 10: RowClone - No Flush speedup",
-                clflush ? "EasyDRAM (DSN 2025), Fig. 11"
-                        : "EasyDRAM (DSN 2025), Fig. 10");
-
-  const sys::SystemConfig nts = sys::pidram_no_time_scaling();
-  const sys::SystemConfig ts = sys::jetson_nano_time_scaling();
-
-  for (const auto kind : {workloads::CopyInitParams::Kind::kCopy,
-                          workloads::CopyInitParams::Kind::kInit}) {
-    const bool is_copy = kind == workloads::CopyInitParams::Kind::kCopy;
-    std::cout << (is_copy ? "(a) Copy\n" : "(b) Init\n");
-    TextTable t;
-    t.set_header({"Size", "EasyDRAM - No Time Scaling", "EasyDRAM - Time Scaling",
-                  "Ramulator 2.0"});
-    Summary s_nts, s_ts, s_ram;
-    for (std::uint64_t bytes = 8 * 1024; bytes <= 16ull * 1024 * 1024; bytes *= 2) {
-      const std::size_t rows = static_cast<std::size_t>(bytes / 8192);
-      const double v_nts = easydram_speedup(nts, kind, rows, clflush);
-      const double v_ts = easydram_speedup(ts, kind, rows, clflush);
-      const double v_ram = ramulator_speedup(kind, rows, clflush);
-      s_nts.add(v_nts);
-      s_ts.add(v_ts);
-      s_ram.add(v_ram);
-      t.add_row({bench::fmt_size(bytes), fmt_fixed(v_nts, 1) + "x",
-                 fmt_fixed(v_ts, 2) + "x", fmt_fixed(v_ram, 1) + "x"});
-    }
-    t.add_row({"average", fmt_fixed(s_nts.mean(), 1) + "x",
-               fmt_fixed(s_ts.mean(), 2) + "x", fmt_fixed(s_ram.mean(), 1) + "x"});
-    t.add_row({"maximum", fmt_fixed(s_nts.max(), 1) + "x",
-               fmt_fixed(s_ts.max(), 2) + "x", fmt_fixed(s_ram.max(), 1) + "x"});
-    t.print(std::cout);
-    std::cout << '\n';
-  }
-
-  if (!clflush) {
-    std::cout << "Paper (Fig. 10) avg(max): Copy NoTS 306.7x(423.1x), TS 15.0x(17.4x),\n"
-                 "Ramulator 27.2x(33.0x); Init NoTS 36.7x(51.3x), TS 1.8x(2.0x),\n"
-                 "Ramulator 17.3x(21.0x). Shape to check: NoTS >> Ramulator > TS for\n"
-                 "Copy; the ~20x NoTS/TS skew; Ramulator Init >> TS Init (no fallback\n"
-                 "or per-operation software cost modeled in Ramulator).\n";
-  } else {
-    std::cout << "Paper (Fig. 11) avg(max): Copy TS 4.04x(6.62x), NoTS 3.1x(4.83x);\n"
-                 "Init degrades at small sizes (<=256KB TS, <=32KB NoTS) and improves\n"
-                 "with size. Shape to check: coherence flushes crush small-size\n"
-                 "benefits; speedups grow with data size.\n";
-  }
-  return 0;
+  return easydram::cli::scenario_main("fig10_rowclone_noflush", argc, argv);
 }

@@ -1,16 +1,9 @@
 // Regenerates Figure 11: RowClone - CLFLUSH speedup. The sweep logic is
-// shared with Figure 10 (bench_fig10_rowclone_noflush.cpp); this binary
-// simply runs it with coherence flushes enabled.
+// shared with Figure 10 (src/cli/scenarios_rowclone.cpp); this scenario
+// runs it with coherence flushes enabled.
 
-int fig10_main(int argc, char** argv);
+#include "cli/scenario.hpp"
 
-#define main fig10_main
-#include "bench_fig10_rowclone_noflush.cpp"  // NOLINT(bugprone-suspicious-include)
-#undef main
-
-int main() {
-  char arg0[] = "bench_fig11_rowclone_clflush";
-  char arg1[] = "--clflush";
-  char* argv[] = {arg0, arg1, nullptr};
-  return fig10_main(2, argv);
+int main(int argc, char** argv) {
+  return easydram::cli::scenario_main("fig11_rowclone_clflush", argc, argv);
 }

@@ -1,92 +1,9 @@
-// Regenerates Figure 12: the minimum reliable tRCD of rows across the first
-// two banks (4096 rows each), measured by the EasyAPI characterization flow
-// (initialize with a known pattern, access under a reduced tRCD, compare).
-// Prints an ASCII heatmap over the paper's (Row ID, Group ID) axes plus the
-// headline statistics: every row below nominal, the strong-line fraction,
-// and spatial clustering of weak rows.
+// Regenerates Figure 12: the minimum reliable tRCD heatmap of the first two
+// banks, measured by the EasyAPI characterization flow
+// (src/cli/scenarios_trcd.cpp holds the profiling sweep).
 
-#include <iostream>
-#include <vector>
+#include "cli/scenario.hpp"
 
-#include "bench_util.hpp"
-#include "common/stats.hpp"
-#include "smc/trcd_profiler.hpp"
-
-using namespace easydram;
-
-int main() {
-  bench::banner("Figure 12: minimum reliable tRCD heatmap",
-                "EasyDRAM (DSN 2025), Fig. 12");
-
-  sys::EasyDramSystem sysm(sys::jetson_nano_time_scaling());
-  // The profiler sweep: nominal is 13.5 ns; test down in DRAM-clock steps.
-  smc::TrcdProfiler profiler(
-      sysm.api(), {Picoseconds{12000}, Picoseconds{10500}, Picoseconds{9000},
-                   Picoseconds{7500}});
-
-  constexpr std::uint32_t kRows = 4096;
-  constexpr std::uint32_t kRowsPerGroup = 64;
-  constexpr std::uint32_t kSampleLines = 24;  // Per test value, per row.
-
-  for (std::uint32_t bank = 0; bank < 2; ++bank) {
-    std::vector<Picoseconds> min_trcd(kRows);
-    std::int64_t strong = 0;
-    for (std::uint32_t row = 0; row < kRows; ++row) {
-      // Classification at the 9.0 ns threshold scans every line (exact);
-      // the heatmap value uses a sampled sweep (display only).
-      const bool is_strong =
-          profiler.row_reliable_at(bank, row, Picoseconds{9000});
-      strong += is_strong ? 1 : 0;
-      min_trcd[row] =
-          profiler.profile_row(bank, row, kSampleLines).min_reliable;
-    }
-
-    std::cout << "Bank " << bank + 1
-              << " — heatmap (rows x groups, 8x8 block averages; columns =\n"
-                 "Row ID 0..63, rows = Group ID 0..63; symbols: '.' <=9.0ns,\n"
-                 "':' <=9.75ns, '*' <=10.25ns, '#' >10.25ns)\n";
-    for (std::uint32_t gblock = 0; gblock < kRows / kRowsPerGroup; gblock += 8) {
-      std::string line;
-      for (std::uint32_t rblock = 0; rblock < kRowsPerGroup; rblock += 8) {
-        double sum = 0;
-        for (std::uint32_t g = gblock; g < gblock + 8; ++g) {
-          for (std::uint32_t r = rblock; r < rblock + 8; ++r) {
-            sum += min_trcd[g * kRowsPerGroup + r].nanoseconds();
-          }
-        }
-        const double avg = sum / 64.0;
-        line += avg <= 9.0 ? '.' : avg <= 9.75 ? ':' : avg <= 10.25 ? '*' : '#';
-      }
-      std::cout << "  " << line << '\n';
-    }
-
-    Summary values;
-    std::int64_t below_nominal = 0;
-    std::int64_t weak_with_weak_neighbour = 0, weak_total = 0;
-    for (std::uint32_t row = 0; row < kRows; ++row) {
-      values.add(min_trcd[row].nanoseconds());
-      if (min_trcd[row] < Picoseconds{13500}) ++below_nominal;
-      if (min_trcd[row] > Picoseconds{9000}) {
-        ++weak_total;
-        if (row + 1 < kRows && min_trcd[row + 1] > Picoseconds{9000}) {
-          ++weak_with_weak_neighbour;
-        }
-      }
-    }
-    std::cout << "  rows below nominal 13.5ns: " << below_nominal << "/" << kRows
-              << "  strong (<=9.0ns): "
-              << fmt_fixed(100.0 * static_cast<double>(strong) / kRows, 1)
-              << "% (paper: 84.5% of lines)\n  measured range: ["
-              << fmt_fixed(values.min(), 2) << ", " << fmt_fixed(values.max(), 2)
-              << "] ns (paper colorbar: 9.0-10.5 ns)\n  weak-row clustering: "
-              << fmt_fixed(100.0 * static_cast<double>(weak_with_weak_neighbour) /
-                               static_cast<double>(std::max<std::int64_t>(weak_total, 1)),
-                           1)
-              << "% of weak rows have a weak successor (base rate "
-              << fmt_fixed(100.0 * static_cast<double>(weak_total) / kRows, 1)
-              << "%)\n\n";
-  }
-
-  std::cout << "Lines characterized: " << profiler.lines_tested() << "\n";
-  return 0;
+int main(int argc, char** argv) {
+  return easydram::cli::scenario_main("fig12_trcd_heatmap", argc, argv);
 }

@@ -1,112 +1,9 @@
 // Regenerates Figure 13: execution-time speedup from tRCD reduction across
-// the 11 PolyBench kernels, on EasyDRAM - Time Scaling (workloads run to
-// completion, Bloom-filter-directed reduced accesses over the profiled
-// module) and on the Ramulator-2.0-like baseline (500 M-instruction window,
-// per-row profiled tRCD values, simple OoO core).
+// the PolyBench kernel subset, on EasyDRAM - Time Scaling and on the
+// Ramulator-2.0-like baseline (src/cli/scenarios_trcd.cpp holds the study).
 
-#include <iostream>
+#include "cli/scenario.hpp"
 
-#include "bench_util.hpp"
-#include "common/stats.hpp"
-#include "ramulator/ramulator.hpp"
-#include "smc/trcd_profiler.hpp"
-#include "workloads/polybench.hpp"
-
-using namespace easydram;
-
-namespace {
-
-/// Rows per bank the workload's footprint can touch under the line-
-/// interleaved mapping (footprint striped across all banks).
-std::uint32_t footprint_rows_per_bank(const std::vector<cpu::TraceRecord>& trace,
-                                      const dram::Geometry& geo) {
-  std::uint64_t max_addr = 0;
-  for (const auto& r : trace) max_addr = std::max(max_addr, r.addr);
-  const std::uint64_t lines = max_addr / 64 + 1;
-  const std::uint64_t per_bank = lines / geo.num_banks() + 1;
-  return static_cast<std::uint32_t>(per_bank / geo.cols_per_row() + 2);
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("Figure 13: tRCD-reduction speedup",
-                "EasyDRAM (DSN 2025), Fig. 13");
-
-  TextTable t;
-  t.set_header({"Workload", "EasyDRAM", "Ramulator 2.0", "(EasyDRAM MPKC)"});
-  std::vector<double> easy_speedups, ram_speedups;
-
-  const dram::Geometry geo;
-  for (const auto name : workloads::fig13_names()) {
-    const auto trace_records = workloads::generate_kernel(name);
-    const std::uint32_t rows = footprint_rows_per_bank(trace_records, geo);
-    std::vector<std::uint32_t> banks(geo.num_banks());
-    for (std::uint32_t b = 0; b < geo.num_banks(); ++b) banks[b] = b;
-
-    // --- EasyDRAM: baseline vs Bloom-directed reduction, run to completion.
-    auto make_cfg = [] {
-      sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
-      cfg.line_interleaved_mapping = true;
-      return cfg;
-    };
-    sys::EasyDramSystem base(make_cfg());
-    cpu::VectorTrace t_base(trace_records);
-    const auto r_base = base.run(t_base);
-
-    sys::EasyDramSystem reduced(make_cfg());
-    smc::WeakRowFilterStats fstats;
-    auto filter = smc::build_weak_row_filter(reduced.api(), banks, rows,
-                                             Picoseconds{9000}, 1 << 17, 4,
-                                             &fstats);
-    reduced.install_weak_row_filter(std::move(filter));
-    cpu::VectorTrace t_red(trace_records);
-    const auto r_red = reduced.run(t_red);
-
-    const double easy = static_cast<double>(r_base.cycles) /
-                        static_cast<double>(r_red.cycles);
-    easy_speedups.push_back(easy);
-    const double mpkc = 1000.0 * static_cast<double>(r_base.l2_misses) /
-                        static_cast<double>(r_base.cycles);
-
-    // --- Ramulator: nominal vs profiled per-row tRCD (ground truth from
-    // the same characterization; 500 M-instruction window).
-    ramulator::RamulatorConfig rcfg;
-    ramulator::RamulatorSim sim_base(rcfg);
-    cpu::VectorTrace t_ram1(trace_records);
-    const auto s_base = sim_base.run(t_ram1);
-
-    ramulator::RamulatorConfig rcfg_red = rcfg;
-    const dram::VariationModel variation(geo, dram::VariationConfig{});
-    rcfg_red.trcd_of = [&variation](std::uint32_t bank, std::uint32_t row) {
-      return variation.row_min_trcd(bank, row) <= Picoseconds{9000}
-                 ? Picoseconds{9000}
-                 : Picoseconds{13500};
-    };
-    ramulator::RamulatorSim sim_red(rcfg_red);
-    cpu::VectorTrace t_ram2(trace_records);
-    const auto s_red = sim_red.run(t_ram2);
-    const double ram = static_cast<double>(s_base.cycles) /
-                       static_cast<double>(s_red.cycles);
-    ram_speedups.push_back(ram);
-
-    t.add_row({std::string(name), fmt_fixed((easy - 1.0) * 100.0, 2) + "%",
-               fmt_fixed((ram - 1.0) * 100.0, 2) + "%", fmt_fixed(mpkc, 2)});
-  }
-
-  t.add_row({"geomean", fmt_fixed((geomean(easy_speedups) - 1.0) * 100.0, 2) + "%",
-             fmt_fixed((geomean(ram_speedups) - 1.0) * 100.0, 2) + "%", ""});
-  t.print(std::cout);
-
-  Summary easy_sum, ram_sum;
-  for (double v : easy_speedups) easy_sum.add((v - 1.0) * 100.0);
-  for (double v : ram_speedups) ram_sum.add((v - 1.0) * 100.0);
-  std::cout << "\nEasyDRAM avg(max): " << fmt_fixed(easy_sum.mean(), 2) << "%("
-            << fmt_fixed(easy_sum.max(), 2) << "%)  — paper: 2.75%(9.76%)\n"
-            << "Ramulator avg(max): " << fmt_fixed(ram_sum.mean(), 2) << "%("
-            << fmt_fixed(ram_sum.max(), 2) << "%)  — paper: 2.58%(7.04%)\n"
-            << "(Workloads are not memory-intensive — paper reports 2.2 LLC\n"
-            << "misses per kilo-cycle on average — so single-digit gains are\n"
-            << "the expected shape.)\n";
-  return 0;
+int main(int argc, char** argv) {
+  return easydram::cli::scenario_main("fig13_trcd_speedup", argc, argv);
 }

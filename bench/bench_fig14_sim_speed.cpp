@@ -1,61 +1,10 @@
 // Regenerates Figure 14: evaluation speed (simulated processor cycles per
-// second, in MHz) of EasyDRAM versus the Ramulator-2.0-like baseline across
-// the Fig. 13 kernels. EasyDRAM's speed is emulated cycles divided by the
-// modelled FPGA wall-clock (the quantity an FPGA deployment achieves);
-// Ramulator's speed is measured host wall-clock of the cycle-stepped
-// simulator — the only place this repository reads a real clock.
+// second) of EasyDRAM versus the Ramulator-2.0-like baseline
+// (src/cli/scenarios_system.cpp holds the measurement; its Ramulator column
+// is the only place this repository reads a real clock).
 
-#include <chrono>
-#include <iostream>
+#include "cli/scenario.hpp"
 
-#include "bench_util.hpp"
-#include "common/stats.hpp"
-#include "ramulator/ramulator.hpp"
-#include "workloads/polybench.hpp"
-
-using namespace easydram;
-
-int main() {
-  bench::banner("Figure 14: simulation speed", "EasyDRAM (DSN 2025), Fig. 14");
-
-  TextTable t;
-  t.set_header({"Workload", "EasyDRAM (MHz)", "Ramulator 2.0 (MHz)", "Ratio"});
-  std::vector<double> ratios;
-
-  for (const auto name : workloads::fig13_names()) {
-    const auto records = workloads::generate_kernel(name);
-
-    sys::EasyDramSystem sysm(sys::jetson_nano_time_scaling());
-    cpu::VectorTrace t1(records);
-    const auto r = sysm.run(t1);
-    const double easy_mhz =
-        static_cast<double>(r.cycles) / sysm.wall().seconds() / 1e6;
-
-    ramulator::RamulatorSim sim{ramulator::RamulatorConfig{}};
-    cpu::VectorTrace t2(records);
-    const auto host_start = std::chrono::steady_clock::now();
-    const auto s = sim.run(t2);
-    const double host_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start)
-            .count();
-    const double ram_mhz = static_cast<double>(s.cycles) / host_seconds / 1e6;
-
-    const double ratio = easy_mhz / ram_mhz;
-    ratios.push_back(ratio);
-    t.add_row({std::string(name), fmt_fixed(easy_mhz, 2), fmt_fixed(ram_mhz, 2),
-               fmt_fixed(ratio, 1) + "x"});
-  }
-
-  t.add_row({"geomean", "", "", fmt_fixed(geomean(ratios), 1) + "x"});
-  t.print(std::cout);
-
-  Summary s;
-  for (double v : ratios) s.add(v);
-  std::cout << "\nPaper: EasyDRAM averages 5.9x (max 20.3x) faster than\n"
-               "Ramulator 2.0, with the gap growing as memory intensity falls\n"
-               "(durbin, ~0.01 LLC MPKC, shows the maximum). Measured here:\n"
-               "avg " << fmt_fixed(s.mean(), 1) << "x, max " << fmt_fixed(s.max(), 1)
-            << "x. Note: the Ramulator column depends on host CPU speed; the\n"
-               "EasyDRAM column is a deterministic model output.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return easydram::cli::scenario_main("fig14_sim_speed", argc, argv);
 }

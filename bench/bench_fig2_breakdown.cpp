@@ -1,108 +1,9 @@
 // Regenerates Figure 2: execution-time breakdown of a memory request into
 // processing, scheduling, and main-memory components across four system
-// configurations. As in the paper, the figure is qualitative: what matters
-// is that (1) FPGA builds stretch the processing component, (2) a software
-// memory controller stretches scheduling, and (3) time scaling restores
-// realistic proportions.
+// configurations (src/cli/scenarios_system.cpp holds the measurement).
 
-#include <iostream>
+#include "cli/scenario.hpp"
 
-#include "bench_util.hpp"
-#include "workloads/builder.hpp"
-
-using namespace easydram;
-
-namespace {
-
-struct Breakdown {
-  double processing_ns;
-  double scheduling_ns;
-  double memory_ns;
-};
-
-/// One dependent load miss with a fixed instruction preamble, measured on
-/// the given system configuration. Components: processing = preamble
-/// instructions at the processor's clock; memory = DRAM-interface busy
-/// time; scheduling = everything else in the request's latency.
-Breakdown measure(const sys::SystemConfig& cfg, double clock_hz) {
-  sys::EasyDramSystem sysm(cfg);
-  workloads::TraceBuilder b;
-  constexpr int kPreamble = 100;
-  b.compute(kPreamble);
-  b.load_dependent(8192);
-  cpu::VectorTrace trace(b.take());
-  const cpu::RunResult r = sysm.run(trace);
-
-  const double total_ns = static_cast<double>(r.cycles) / clock_hz * 1e9;
-  const double processing_ns =
-      static_cast<double>(kPreamble) /
-      static_cast<double>(cfg.core.issue_width) / clock_hz * 1e9;
-  const double memory_ns = sysm.smc_stats().dram_busy.nanoseconds();
-  Breakdown out{};
-  out.processing_ns = processing_ns;
-  out.memory_ns = memory_ns;
-  out.scheduling_ns = std::max(0.0, total_ns - processing_ns - memory_ns);
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("Figure 2: memory-request execution-time breakdown",
-                "EasyDRAM (DSN 2025), Fig. 2 (qualitative)");
-
-  // 1) Real system: GHz-class processor, hardware memory controller.
-  sys::SystemConfig real = sys::jetson_nano_time_scaling();
-  real.mode = timescale::SystemMode::kReference;
-  real.proc_domain = timescale::DomainConfig{Frequency{1'430'000'000},
-                                             Frequency{1'430'000'000}};
-
-  // 2) FPGA + RTL memory controller: slow processor, hardware-speed MC
-  //    (PiDRAM-like platform before adding a software controller).
-  sys::SystemConfig fpga_rtl = sys::pidram_no_time_scaling();
-  fpga_rtl.mode = timescale::SystemMode::kReference;
-  fpga_rtl.proc_domain = timescale::DomainConfig{Frequency::megahertz(50),
-                                                 Frequency::megahertz(50)};
-  fpga_rtl.core = cpu::pidram_inorder_core();
-  fpga_rtl.hardware_mc = true;           // Fixed-function RTL controller.
-  fpga_rtl.mc_sched_latency_cycles = 2;  // Two pipeline stages at 50 MHz.
-
-  // 3) FPGA + software memory controller (no time scaling).
-  const sys::SystemConfig fpga_smc = sys::pidram_no_time_scaling();
-
-  // 4) FPGA + software MC + time scaling.
-  const sys::SystemConfig fpga_ts = sys::jetson_nano_time_scaling();
-
-  const Breakdown b1 = measure(real, 1.43e9);
-  const Breakdown b2 = measure(fpga_rtl, 50e6);
-  const Breakdown b3 = measure(fpga_smc, 50e6);
-  const Breakdown b4 = measure(fpga_ts, 1.43e9);
-
-  TextTable t;
-  t.set_header({"Configuration", "Processing (ns)", "Scheduling (ns)",
-                "Main memory (ns)"});
-  auto row = [&](const char* name, const Breakdown& b) {
-    t.add_row({name, fmt_fixed(b.processing_ns, 1), fmt_fixed(b.scheduling_ns, 1),
-               fmt_fixed(b.memory_ns, 1)});
-  };
-  row("Real system", b1);
-  row("FPGA + RTL memory controller", b2);
-  row("FPGA + software memory controller", b3);
-  row("FPGA + software MC + time scaling", b4);
-  t.print(std::cout);
-
-  std::cout << "\nExpected shape (paper Fig. 2): FPGA configs stretch\n"
-               "processing; the software MC stretches scheduling; main\n"
-               "memory stays constant; time scaling restores the real\n"
-               "system's proportions on the emulated timeline.\n";
-
-  const bool memory_constant =
-      std::abs(b1.memory_ns - b3.memory_ns) < 0.5 * b1.memory_ns;
-  const bool smc_stretches_sched = b3.scheduling_ns > 3.0 * b2.scheduling_ns;
-  const bool ts_restores = std::abs(b4.processing_ns - b1.processing_ns) <
-                           0.2 * b1.processing_ns;
-  std::cout << "\nChecks: memory-constant=" << (memory_constant ? "yes" : "NO")
-            << " smc-stretches-scheduling=" << (smc_stretches_sched ? "yes" : "NO")
-            << " ts-restores-processing=" << (ts_restores ? "yes" : "NO") << "\n";
-  return 0;
+int main(int argc, char** argv) {
+  return easydram::cli::scenario_main("fig2_breakdown", argc, argv);
 }

@@ -1,62 +1,9 @@
-// Regenerates Figure 8: average cycles per load instruction for the
-// lmbench-style memory read latency microbenchmark over buffer sizes
-// 1 KiB .. 16 MiB, on three systems: EasyDRAM - No Time Scaling, EasyDRAM -
-// Time Scaling, and the real Cortex A57 board (modelled here as the
-// reference-mode A57 system with the Jetson Nano's 2 MiB L2, per §6).
+// Regenerates Figure 8: average cycles per load of the lmbench-style memory
+// read latency microbenchmark over 1 KiB .. 16 MiB buffers on three systems
+// (src/cli/scenarios_system.cpp holds the measurement).
 
-#include <algorithm>
-#include <iostream>
+#include "cli/scenario.hpp"
 
-#include "bench_util.hpp"
-#include "workloads/lmbench.hpp"
-
-using namespace easydram;
-
-namespace {
-
-double cycles_per_load(const sys::SystemConfig& cfg, std::uint64_t bytes) {
-  sys::EasyDramSystem sysm(cfg);
-  // Scale passes so cold misses do not dominate small buffers.
-  const int passes =
-      static_cast<int>(std::clamp<std::uint64_t>((8ull << 20) / bytes, 4, 128));
-  auto records = workloads::make_lmbench_chase(bytes, passes);
-  cpu::VectorTrace trace(std::move(records));
-  const cpu::RunResult r = sysm.run(trace);
-  return static_cast<double>(r.cycles) / static_cast<double>(r.loads);
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("Figure 8: lmbench latency profile",
-                "EasyDRAM (DSN 2025), Fig. 8");
-
-  // Real board: A57 at 1.43 GHz with the Jetson Nano's 2 MiB L2, served by
-  // a hardware memory controller (reference mode).
-  sys::SystemConfig a57 = sys::jetson_nano_time_scaling();
-  a57.mode = timescale::SystemMode::kReference;
-  a57.proc_domain = timescale::DomainConfig{Frequency{1'430'000'000},
-                                            Frequency{1'430'000'000}};
-  a57.caches = cpu::jetson_nano_caches();
-
-  const sys::SystemConfig ts = sys::jetson_nano_time_scaling();
-  const sys::SystemConfig nts = sys::pidram_no_time_scaling();
-
-  TextTable t;
-  t.set_header({"Size (KiB)", "EasyDRAM - No Time Scaling",
-                "EasyDRAM - Time Scaling", "Cortex A57 (2 MiB L2)"});
-  for (std::uint64_t kib = 1; kib <= 16 * 1024; kib *= 2) {
-    const std::uint64_t bytes = kib * 1024;
-    t.add_row({std::to_string(kib), fmt_fixed(cycles_per_load(nts, bytes), 1),
-               fmt_fixed(cycles_per_load(ts, bytes), 1),
-               fmt_fixed(cycles_per_load(a57, bytes), 1)});
-  }
-  t.print(std::cout);
-
-  std::cout << "\nExpected shape (paper Fig. 8): the No-Time-Scaling curve\n"
-               "shows a much lower main-memory plateau (few tens of cycles at\n"
-               "50 MHz); Time Scaling tracks the Cortex A57 profile, with the\n"
-               "L2->memory transition at 512 KiB instead of 2 MiB because the\n"
-               "EasyDRAM build has a smaller L2 (noted in the paper).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return easydram::cli::scenario_main("fig8_latency_profile", argc, argv);
 }

@@ -1,42 +1,9 @@
 // Regenerates Table 1: qualitative comparison of evaluation platforms, with
 // this reproduction's measured "evaluated CPU cycles per second" for the
-// EasyDRAM row (computed from the modelled FPGA wall clock, as the paper's
-// ~10M figure is).
+// EasyDRAM row (src/cli/scenarios_system.cpp holds the measurement).
 
-#include <iostream>
+#include "cli/scenario.hpp"
 
-#include "bench_util.hpp"
-#include "workloads/polybench.hpp"
-
-using namespace easydram;
-
-int main() {
-  bench::banner("Table 1: platform comparison",
-                "EasyDRAM (DSN 2025), Table 1");
-
-  // Measure the evaluated-cycles-per-second of this EasyDRAM model on a
-  // representative workload (mix of compute and memory).
-  sys::EasyDramSystem sysm(sys::jetson_nano_time_scaling());
-  auto records = workloads::generate_kernel("gemver");
-  cpu::VectorTrace trace(std::move(records));
-  const cpu::RunResult r = sysm.run(trace);
-  const double speed_hz =
-      static_cast<double>(r.cycles) / sysm.wall().seconds();
-
-  TextTable t;
-  t.set_header({"Platform", "Real DRAM", "Flexible MC", "Eval. CPU cycles/s",
-                "Accurate perf.", "Easily configurable"});
-  t.add_row({"Commercial systems", "yes", "no", "billions", "yes", "no"});
-  t.add_row({"Software simulators", "no", "yes (C/C++)", "~10K - ~1M", "yes", "yes"});
-  t.add_row({"FPGA-based simulators", "no", "no", "~4M - ~100M", "yes", "yes"});
-  t.add_row({"DRAM testing platforms", "DDR3/4", "no", "N/A", "no", "no"});
-  t.add_row({"FPGA-based emulators", "DDR3/4", "HDL", "50M - 200M", "no", "yes"});
-  t.add_row({"EasyDRAM (this repro)", "DDR4 (modelled)", "yes (C/C++)",
-             fmt_fixed(speed_hz / 1e6, 1) + "M (measured)", "yes", "yes"});
-  t.print(std::cout);
-
-  std::cout << "\nPaper reports ~10M evaluated CPU cycles/s for EasyDRAM.\n"
-            << "Measured here on gemver: " << fmt_fixed(speed_hz / 1e6, 2)
-            << "M emulated cycles per modelled-FPGA second.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return easydram::cli::scenario_main("table1_platforms", argc, argv);
 }

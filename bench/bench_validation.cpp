@@ -1,53 +1,10 @@
-// Regenerates the §6 time-scaling validation: an EasyDRAM system whose
-// 100 MHz processor is time-scaled to 1 GHz must report execution times
-// within <0.1 % (average) and <1 % (maximum) of a 1 GHz RTL reference
-// system that makes the same scheduling decisions, across 28 PolyBench
-// workloads plus the lmbench memory-read-latency microbenchmark.
+// Regenerates the §6 time-scaling validation: a time-scaled 100 MHz system
+// must report execution times within <0.1 % (average) and <1 % (maximum) of
+// a 1 GHz RTL reference across 28 PolyBench workloads plus lmbench
+// (src/cli/scenarios_validation.cpp holds the study).
 
-#include <iostream>
+#include "cli/scenario.hpp"
 
-#include "bench_util.hpp"
-#include "common/stats.hpp"
-#include "workloads/lmbench.hpp"
-#include "workloads/polybench.hpp"
-
-using namespace easydram;
-
-int main() {
-  bench::banner("Time-scaling validation (28 PolyBench + lmbench)",
-                "EasyDRAM (DSN 2025), Section 6: <0.1% avg, <1% max error");
-
-  TextTable t;
-  t.set_header({"Workload", "Reference 1GHz (cycles)", "TS 100MHz->1GHz (cycles)",
-                "Error (%)"});
-  Summary err_summary;
-
-  auto run_pair = [&](const std::string& name,
-                      const std::vector<cpu::TraceRecord>& records) {
-    sys::EasyDramSystem ts(sys::validation_time_scaling());
-    cpu::VectorTrace t1(records);
-    const auto r_ts = ts.run(t1);
-
-    sys::EasyDramSystem ref(sys::validation_reference());
-    cpu::VectorTrace t2(records);
-    const auto r_ref = ref.run(t2);
-
-    const double err = 100.0 *
-                       std::abs(static_cast<double>(r_ts.cycles - r_ref.cycles)) /
-                       static_cast<double>(r_ref.cycles);
-    err_summary.add(err);
-    t.add_row({name, std::to_string(r_ref.cycles), std::to_string(r_ts.cycles),
-               fmt_fixed(err, 4)});
-  };
-
-  for (const auto& kernel : workloads::all_kernels()) {
-    run_pair(std::string(kernel.name), kernel.generate());
-  }
-  run_pair("lmbench-lat-mem-rd", workloads::make_lmbench_chase(2 << 20, 4));
-
-  t.print(std::cout);
-  std::cout << "\nAverage error: " << fmt_fixed(err_summary.mean(), 4)
-            << "% (paper: <0.1%)\nMaximum error: "
-            << fmt_fixed(err_summary.max(), 4) << "% (paper: <1%)\n";
-  return 0;
+int main(int argc, char** argv) {
+  return easydram::cli::scenario_main("validation_timescale", argc, argv);
 }

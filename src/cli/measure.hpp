@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sys/system.hpp"
+#include "workloads/copyinit.hpp"
+
+namespace easydram::cli {
+
+/// Prints a figure/table banner matching the paper artifact being
+/// regenerated.
+void banner(const std::string& title, const std::string& paper_ref);
+
+/// Formats a byte size like the paper's x axes (8K ... 16M).
+std::string fmt_size(std::uint64_t bytes);
+
+/// Outcome of one Copy/Init measurement.
+struct CopyInitResult {
+  std::int64_t measured_cycles = 0;  ///< Between the two markers.
+  std::int64_t rowclones = 0;
+  std::int64_t fallbacks = 0;
+};
+
+/// Builds a fresh EasyDRAM system for `cfg`, prepares the RowClone
+/// allocation plan (verification runs uncharged, as setup), pre-loads the
+/// source/pattern rows, and runs one Copy or Init workload variant.
+CopyInitResult run_copyinit_easydram(const sys::SystemConfig& cfg,
+                                     workloads::CopyInitParams params,
+                                     std::size_t rows, int verify_trials = 8);
+
+/// Execution-time speedup of the RowClone variant over the CPU load/store
+/// baseline on an EasyDRAM system (Figs. 10/11 measurement).
+double copyinit_speedup_easydram(const sys::SystemConfig& cfg,
+                                 workloads::CopyInitParams::Kind kind,
+                                 std::size_t rows, bool clflush);
+
+/// The same speedup on the Ramulator-2.0-like software simulator, with its
+/// modelling gap (paper footnote 6): every RowClone pair succeeds.
+double copyinit_speedup_ramulator(workloads::CopyInitParams::Kind kind,
+                                  std::size_t rows, bool clflush);
+
+/// Fig. 2 components of one dependent-load memory request.
+struct RequestBreakdown {
+  double processing_ns = 0;
+  double scheduling_ns = 0;
+  double memory_ns = 0;
+};
+
+/// One dependent load miss with a fixed instruction preamble, measured on
+/// the given system configuration. Components: processing = preamble
+/// instructions at the processor's clock; memory = DRAM-interface busy
+/// time; scheduling = everything else in the request's latency.
+RequestBreakdown measure_request_breakdown(const sys::SystemConfig& cfg,
+                                           double clock_hz);
+
+/// Average cycles per load of the lmbench pointer chase over a buffer of
+/// `buffer_bytes` (Fig. 8 measurement). Pass count scales inversely with
+/// the buffer so cold misses do not dominate small buffers.
+double cycles_per_load(const sys::SystemConfig& cfg,
+                       std::uint64_t buffer_bytes,
+                       std::uint64_t chase_seed = 0x17B);
+
+/// Execution cycles of one named PolyBench kernel on a fresh system.
+std::int64_t run_kernel_cycles(const sys::SystemConfig& cfg,
+                               std::string_view kernel);
+
+/// Fig. 13 per-kernel result: tRCD-reduction speedup on EasyDRAM (Bloom-
+/// directed, run to completion) and on the Ramulator-2.0-like baseline
+/// (per-row profiled values), plus the kernel's memory intensity.
+struct TrcdSpeedup {
+  double easy = 0;
+  double ram = 0;
+  double mpkc = 0;  ///< L2 (LLC) misses per kilo-cycle, baseline run.
+};
+
+TrcdSpeedup measure_trcd_speedup(std::string_view kernel, std::uint64_t seed);
+
+/// Fig. 14 per-kernel result. `ram_mhz` divides simulated cycles by *host*
+/// wall-clock — the one measurement in this repository that reads a real
+/// clock, so it is load-dependent and non-deterministic by design.
+struct SimSpeed {
+  double easy_mhz = 0;
+  double ram_mhz = 0;
+  double ratio = 0;
+};
+
+SimSpeed measure_sim_speed(std::string_view kernel, std::uint64_t seed);
+
+}  // namespace easydram::cli

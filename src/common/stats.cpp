@@ -20,14 +20,21 @@ void Summary::add(double x) {
 
 double Summary::mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
 
-double geomean(std::span<const double> xs) {
-  if (xs.empty()) return 0.0;
+double geomean(std::span<const double> xs, GeomeanPolicy policy) {
   double log_sum = 0.0;
+  std::size_t used = 0;
   for (double x : xs) {
-    EASYDRAM_EXPECTS(x > 0.0);
+    if (!(x > 0.0)) {  // Also catches NaN (all comparisons false).
+      if (policy == GeomeanPolicy::kThrow) {
+        throw StatsError("geomean: non-positive sample " + std::to_string(x));
+      }
+      continue;
+    }
     log_sum += std::log(x);
+    ++used;
   }
-  return std::exp(log_sum / static_cast<double>(xs.size()));
+  if (used == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(used));
 }
 
 double mean(std::span<const double> xs) {
@@ -37,6 +44,31 @@ double mean(std::span<const double> xs) {
   return sum / static_cast<double>(xs.size());
 }
 
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sq = 0.0;
+  for (double x : xs) sq += (x - m) * (x - m);
+  return std::sqrt(sq / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double pct) {
+  if (xs.empty()) return 0.0;
+  EASYDRAM_EXPECTS(pct >= 0.0 && pct <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double p50(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double p95(std::span<const double> xs) { return percentile(xs, 95.0); }
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {
   EASYDRAM_EXPECTS(hi > lo);
@@ -44,10 +76,16 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x) {
+  if (!std::isfinite(x)) {
+    ++rejected_;
+    return;
+  }
   const double span = hi_ - lo_;
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span * static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Clamp in double space before the integer cast: converting a value whose
+  // truncation does not fit std::ptrdiff_t is undefined behaviour.
+  double pos = (x - lo_) / span * static_cast<double>(counts_.size());
+  pos = std::clamp(pos, 0.0, static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(pos)];
   ++total_;
 }
 

@@ -2,9 +2,19 @@
 
 #include <cstddef>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace easydram {
+
+/// Thrown by statistics helpers on invalid input (e.g. a non-positive
+/// sample fed to geomean). Unlike ContractViolation this is an expected,
+/// catchable condition: benches can report "n/a" instead of dying.
+class StatsError : public std::invalid_argument {
+ public:
+  explicit StatsError(const std::string& what) : std::invalid_argument(what) {}
+};
 
 /// Streaming summary of a series of samples: count, mean, min, max.
 class Summary {
@@ -24,14 +34,39 @@ class Summary {
   double max_ = 0.0;
 };
 
-/// Geometric mean of strictly positive samples. Returns 0 for an empty span.
-double geomean(std::span<const double> xs);
+/// What geomean does with a non-positive sample (for which log() is
+/// undefined): throw a StatsError, or skip the sample and average the rest.
+enum class GeomeanPolicy {
+  kThrow,
+  kSkipNonPositive,
+};
+
+/// Geometric mean of positive samples. Returns 0 for an empty span (or, under
+/// kSkipNonPositive, when no positive sample remains).
+double geomean(std::span<const double> xs,
+               GeomeanPolicy policy = GeomeanPolicy::kThrow);
 
 /// Arithmetic mean. Returns 0 for an empty span.
 double mean(std::span<const double> xs);
 
-/// Fixed-bucket histogram over [lo, hi); samples outside are clamped into the
-/// first/last bucket. Used by characterization studies and tests.
+/// Sample standard deviation (n-1 denominator). Returns 0 for spans with
+/// fewer than two elements.
+double stddev(std::span<const double> xs);
+
+/// Percentile in [0, 100] by linear interpolation between closest ranks.
+/// Returns 0 for an empty span; the single element for a one-element span.
+double percentile(std::span<const double> xs, double pct);
+
+/// Median (50th percentile).
+double p50(std::span<const double> xs);
+
+/// 95th percentile.
+double p95(std::span<const double> xs);
+
+/// Fixed-bucket histogram over [lo, hi); finite samples outside are clamped
+/// into the first/last bucket, non-finite samples are rejected (counted in
+/// rejected(), excluded from total()). Used by characterization studies and
+/// tests.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -40,6 +75,7 @@ class Histogram {
   std::size_t bucket_count() const { return counts_.size(); }
   std::size_t count_at(std::size_t bucket) const { return counts_.at(bucket); }
   std::size_t total() const { return total_; }
+  std::size_t rejected() const { return rejected_; }
   double bucket_low(std::size_t bucket) const;
 
  private:
@@ -47,6 +83,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t rejected_ = 0;
 };
 
 }  // namespace easydram

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "common/contracts.hpp"
@@ -142,7 +143,36 @@ TEST(Stats, GeomeanOfPowers) {
 
 TEST(Stats, GeomeanRejectsNonPositive) {
   const double xs[] = {1.0, 0.0};
-  EXPECT_THROW(geomean(xs), ContractViolation);
+  EXPECT_THROW(geomean(xs), StatsError);
+  const double all_zero[] = {0.0, 0.0};
+  EXPECT_THROW(geomean(all_zero), StatsError);
+}
+
+TEST(Stats, GeomeanSkipPolicyAveragesPositives) {
+  const double xs[] = {0.0, 4.0, -1.0, 16.0};
+  EXPECT_NEAR(geomean(xs, GeomeanPolicy::kSkipNonPositive), 8.0, 1e-9);
+  const double all_zero[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(geomean(all_zero, GeomeanPolicy::kSkipNonPositive), 0.0);
+}
+
+TEST(Stats, StddevSmallSpans) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  const double one[] = {42.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.138089935, 1e-6);  // Sample (n-1) stddev.
+}
+
+TEST(Stats, PercentileSmallSpans) {
+  EXPECT_DOUBLE_EQ(p50({}), 0.0);
+  EXPECT_DOUBLE_EQ(p95({}), 0.0);
+  const double one[] = {7.0};
+  EXPECT_DOUBLE_EQ(p50(one), 7.0);
+  EXPECT_DOUBLE_EQ(p95(one), 7.0);
+  const double xs[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(p50(xs), 2.5);
+  EXPECT_NEAR(percentile(xs, 100.0), 4.0, 1e-12);
+  EXPECT_NEAR(p95(xs), 3.85, 1e-9);
 }
 
 TEST(Stats, HistogramBucketsAndClamping) {
@@ -155,6 +185,23 @@ TEST(Stats, HistogramBucketsAndClamping) {
   EXPECT_EQ(h.count_at(9), 2u);
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.bucket_low(5), 5.0);
+}
+
+TEST(Stats, HistogramRejectsNonFiniteAndHugeSamples) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.rejected(), 3u);
+  // Finite but far outside any integer range: must clamp, not overflow
+  // (casting the unclamped bucket index to an integer type was UB).
+  h.add(1e308);
+  h.add(-1e308);
+  EXPECT_EQ(h.count_at(9), 1u);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.rejected(), 3u);
 }
 
 TEST(Table, PrintsAlignedColumns) {

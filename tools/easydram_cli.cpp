@@ -1,0 +1,15 @@
+// The unified EasyDRAM experiment runner: every paper figure/table
+// reproducer and ablation registers itself as a named scenario; this binary
+// lists them, runs parameter sweeps across a thread pool with deterministic
+// per-task RNG streams, and writes machine-readable JSON summaries.
+//
+//   easydram_cli --list
+//   easydram_cli --scenario fig13_trcd_speedup --threads 4 --out r.json
+//   easydram_cli --scenario quickstart --iters 1
+
+#include "cli/scenario.hpp"
+
+int main(int argc, char** argv) {
+  return easydram::cli::scenario_main(
+      std::span<const std::string_view>{}, argc, argv);
+}
