@@ -1,0 +1,16 @@
+// Channels x mapper throughput table: read-burst requests/us for 1/2/4
+// memory channels under the row-linear, line-interleaved and
+// channel-interleaved mappings, plus the rank-interleaving companion table
+// (src/cli/scenarios_memsys.cpp holds the measurement). An extension beyond
+// the paper's single-channel case-study system.
+
+#include <array>
+
+#include "cli/scenario.hpp"
+
+int main(int argc, char** argv) {
+  constexpr std::array<std::string_view, 2> kDefaults{"channel_scaling",
+                                                      "rank_interleaving"};
+  return easydram::cli::scenario_main(
+      std::span<const std::string_view>(kDefaults), argc, argv);
+}

@@ -80,11 +80,13 @@ void BM_FrfcfsPick(benchmark::State& state) {
     e.dram_addr = dram::DramAddress{i % 16, i * 7 % 1024, 0};
     table.insert(std::move(e));
   }
-  const smc::BankStateView banks(
-      [](std::uint32_t bank) -> std::optional<std::uint32_t> {
-        return bank % 2 == 0 ? std::optional<std::uint32_t>{7} : std::nullopt;
-      });
-  const smc::FrfcfsScheduler sched;
+  struct AlternatingBanks final : smc::BankStateView {
+    std::optional<std::uint32_t> open_row(const dram::DramAddress& a) const override {
+      return a.bank % 2 == 0 ? std::optional<std::uint32_t>{7} : std::nullopt;
+    }
+  };
+  const AlternatingBanks banks;
+  smc::FrfcfsScheduler sched;
   std::size_t scanned = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(sched.pick(table, banks, scanned));

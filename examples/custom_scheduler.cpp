@@ -19,7 +19,7 @@ class StrictArrivalOrder final : public smc::Scheduler {
  public:
   std::optional<std::size_t> pick(const smc::RequestTable& table,
                                   const smc::BankStateView& /*banks*/,
-                                  std::size_t& scanned) const override {
+                                  std::size_t& scanned) override {
     scanned = table.size();
     if (table.empty()) return std::nullopt;
     std::size_t oldest = 0;

@@ -17,7 +17,7 @@ int main() {
 
   // 1) Characterize: profile rows of every bank at the 9.0 ns threshold.
   sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
-  cfg.line_interleaved_mapping = true;
+  cfg.mapping = smc::MappingKind::kLineInterleaved;
   sys::EasyDramSystem sysm(cfg);
 
   const dram::Geometry geo = sysm.device().geometry();

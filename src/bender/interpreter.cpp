@@ -60,6 +60,7 @@ ExecutionResult Interpreter::execute(const Program& program, Picoseconds start) 
       case Opcode::kDdr: {
         dram::DramAddress addr{resolve(inst.bank, regs), resolve(inst.row, regs),
                                resolve(inst.col, regs)};
+        addr.rank = resolve(inst.rank, regs);
         std::span<const std::uint8_t> wdata;
         if (inst.cmd == dram::Command::kWrite) {
           EASYDRAM_EXPECTS(inst.wdata_index < program.wdata().size());

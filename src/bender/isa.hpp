@@ -43,6 +43,7 @@ struct Instruction {
   Operand bank;                             ///< kDdr only.
   Operand row;                              ///< kDdr only.
   Operand col;                              ///< kDdr only.
+  Operand rank;                             ///< kDdr only (multi-rank channels).
   /// kDdr+kWrite: index into the program's write-data table.
   std::uint32_t wdata_index = 0;
   /// kDdr+kRead: capture returned data into the readback buffer.

@@ -19,6 +19,7 @@ void Program::ddr(dram::Command cmd, const dram::DramAddress& a, bool capture,
   inst.bank = Operand::imm(a.bank);
   inst.row = Operand::imm(a.row);
   inst.col = Operand::imm(a.col);
+  inst.rank = Operand::imm(a.rank);
   inst.capture = capture;
   inst.wdata_index = wdata_index;
   push(inst);
@@ -34,6 +35,7 @@ void Program::ddr_exact(dram::Command cmd, const dram::DramAddress& a,
   inst.bank = Operand::imm(a.bank);
   inst.row = Operand::imm(a.row);
   inst.col = Operand::imm(a.col);
+  inst.rank = Operand::imm(a.rank);
   inst.capture = capture;
   inst.wdata_index = wdata_index;
   inst.respect_nominal = false;

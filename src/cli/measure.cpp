@@ -187,7 +187,7 @@ TrcdSpeedup measure_trcd_speedup(std::string_view kernel, std::uint64_t seed) {
   // --- EasyDRAM: baseline vs Bloom-directed reduction, run to completion.
   auto make_cfg = [seed] {
     sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
-    cfg.line_interleaved_mapping = true;
+    cfg.mapping = smc::MappingKind::kLineInterleaved;
     cfg.variation.seed = seed;
     return cfg;
   };
@@ -196,11 +196,8 @@ TrcdSpeedup measure_trcd_speedup(std::string_view kernel, std::uint64_t seed) {
   const auto r_base = base.run(t_base);
 
   sys::EasyDramSystem reduced(make_cfg());
-  smc::WeakRowFilterStats fstats;
-  auto filter = smc::build_weak_row_filter(reduced.api(), banks, rows,
-                                           Picoseconds{9000}, 1 << 17, 4,
-                                           &fstats);
-  reduced.install_weak_row_filter(std::move(filter));
+  reduced.characterize_and_install_weak_rows(banks, rows, Picoseconds{9000},
+                                             1 << 17, 4);
   cpu::VectorTrace t_red(trace_records);
   const auto r_red = reduced.run(t_red);
 

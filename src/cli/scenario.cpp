@@ -20,6 +20,7 @@ void register_system_scenarios(ScenarioRegistry& r);
 void register_rowclone_scenarios(ScenarioRegistry& r);
 void register_trcd_scenarios(ScenarioRegistry& r);
 void register_validation_scenarios(ScenarioRegistry& r);
+void register_memsys_scenarios(ScenarioRegistry& r);
 
 std::uint64_t rep_seed(const RunOptions& opts, int rep) {
   EASYDRAM_EXPECTS(rep >= 0);
@@ -49,6 +50,7 @@ ScenarioRegistry::ScenarioRegistry() {
   register_rowclone_scenarios(*this);
   register_trcd_scenarios(*this);
   register_validation_scenarios(*this);
+  register_memsys_scenarios(*this);
   std::sort(scenarios_.begin(), scenarios_.end(),
             [](const Scenario& a, const Scenario& b) { return a.name < b.name; });
 }
@@ -74,6 +76,9 @@ Json run_scenario(const Scenario& s, const RunOptions& opts) {
   j["seed"] = static_cast<std::int64_t>(opts.seed);
   j["iters"] = opts.iters;
   j["threads"] = opts.threads;
+  j["channels"] = static_cast<std::int64_t>(opts.channels);
+  j["ranks"] = static_cast<std::int64_t>(opts.ranks);
+  j["mapping"] = smc::to_string(opts.mapping);
   j["results"] = s.run(opts);
   return j;
 }
@@ -138,6 +143,24 @@ ParsedArgs parse_args(int argc, char** argv) {
         if (!n || *n < 1 || *n > 1024) a.error = "bad --threads value";
         else a.opts.threads = static_cast<int>(*n);
       }
+    } else if (arg == "--channels") {
+      if (const char* v = value()) {
+        const auto n = parse_int(v);
+        if (!n || *n < 1 || *n > 64) a.error = "bad --channels value (need 1 .. 64)";
+        else a.opts.channels = static_cast<std::uint32_t>(*n);
+      }
+    } else if (arg == "--ranks") {
+      if (const char* v = value()) {
+        const auto n = parse_int(v);
+        if (!n || *n < 1 || *n > 16) a.error = "bad --ranks value (need 1 .. 16)";
+        else a.opts.ranks = static_cast<std::uint32_t>(*n);
+      }
+    } else if (arg == "--mapping") {
+      if (const char* v = value()) {
+        const auto kind = smc::parse_mapping(v);
+        if (!kind) a.error = "bad --mapping value (linear | line | channel)";
+        else a.opts.mapping = *kind;
+      }
     } else {
       a.error = "unknown argument: " + std::string(arg);
     }
@@ -149,7 +172,8 @@ ParsedArgs parse_args(int argc, char** argv) {
 void print_usage(std::ostream& os, const char* prog) {
   os << "Usage: " << prog
      << " [--scenario NAME]... [--list] [--seed N] [--iters N]\n"
-        "       [--threads N] [--out results.json] [--quiet] [--help]\n\n"
+        "       [--threads N] [--channels N] [--ranks N] [--mapping KIND]\n"
+        "       [--out results.json] [--quiet] [--help]\n\n"
         "Runs EasyDRAM experiment scenarios (paper figure/table reproducers\n"
         "and ablations) and emits machine-readable JSON summaries.\n\n"
         "  --scenario NAME  scenario to run (repeatable; see --list)\n"
@@ -157,8 +181,14 @@ void print_usage(std::ostream& os, const char* prog) {
         "  --seed N         base RNG seed for the synthetic DRAM chip\n"
         "  --iters N        independent repetitions (per-rep seed streams)\n"
         "  --threads N      worker threads for the parameter sweep\n"
+        "  --channels N     memory channels (memory-system scenarios)\n"
+        "  --ranks N        ranks per channel (memory-system scenarios)\n"
+        "  --mapping KIND   address mapping: linear | line | channel\n"
         "  --out PATH       write the JSON summary to PATH\n"
-        "  --quiet          suppress the human-readable tables\n";
+        "  --quiet          suppress the human-readable tables\n\n"
+        "The paper scenarios always run the validated 1-channel/1-rank\n"
+        "geometry; --channels/--ranks/--mapping shape the memory-system\n"
+        "scenarios (channel_scaling, rank_interleaving).\n";
 }
 
 void print_list(std::ostream& os) {

@@ -7,17 +7,27 @@
 #include <vector>
 
 #include "cli/json.hpp"
+#include "smc/addr_map.hpp"
 
 namespace easydram::cli {
 
 /// Options shared by every experiment scenario. Defaults reproduce the
 /// paper-shape outputs of the original standalone benches: seed matches the
-/// dram::VariationConfig default, one repetition, sequential execution.
+/// dram::VariationConfig default, one repetition, sequential execution, and
+/// the paper's 1-channel/1-rank row-linear memory system.
 struct RunOptions {
   std::uint64_t seed = 0x5AFA2125ULL;
   int iters = 1;    ///< Independent repetitions aggregated into the summary.
   int threads = 1;  ///< Worker threads for the scenario's parameter sweep.
   bool verbose = true;  ///< Print the human-readable tables to stdout.
+
+  /// Memory-system shape (--channels/--ranks/--mapping). The paper
+  /// figure/table scenarios always run the 1x1 defaults they were validated
+  /// against; the memory-system scenarios (channel_scaling,
+  /// rank_interleaving) honor these as sweep upper bounds / extra points.
+  std::uint32_t channels = 1;
+  std::uint32_t ranks = 1;
+  smc::MappingKind mapping = smc::MappingKind::kLinear;
 };
 
 /// Deterministic per-repetition seed stream. Repetition 0 keeps the

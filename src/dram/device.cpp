@@ -46,25 +46,28 @@ DramDevice::DramDevice(const Geometry& geo, const TimingParams& timing,
     : geo_(geo),
       timing_(timing),
       variation_(geo, variation),
-      banks_(geo.num_banks()),
-      store_(geo.num_banks()),
-      last_act_in_group_(geo.bank_groups, kNegInf),
-      last_act_any_(kNegInf),
-      last_col_in_group_(geo.bank_groups, kNegInf),
-      last_col_any_(kNegInf),
-      last_wr_data_end_any_(kNegInf),
-      wr_data_end_in_group_(geo.bank_groups, kNegInf),
+      banks_(geo.banks_per_channel()),
+      store_(geo.banks_per_channel()),
+      ranks_(geo.ranks_per_channel),
       data_bus_free_(kNegInf),
-      ref_busy_until_(kNegInf),
       now_(Picoseconds{0}) {
   for (auto& b : banks_) {
     b.act_time = b.pre_time = b.last_rd = b.last_wr = kNegInf;
     b.wr_data_end = b.rd_data_end = b.early_pre_at = kNegInf;
   }
+  for (auto& r : ranks_) {
+    r.last_act_in_group.assign(geo.bank_groups, kNegInf);
+    r.last_act_any = kNegInf;
+    r.last_col_in_group.assign(geo.bank_groups, kNegInf);
+    r.last_col_any = kNegInf;
+    r.last_wr_data_end_any = kNegInf;
+    r.wr_data_end_in_group.assign(geo.bank_groups, kNegInf);
+    r.ref_busy_until = kNegInf;
+  }
 }
 
-DramDevice::RowData& DramDevice::row_data(std::uint32_t bank, std::uint32_t row) {
-  auto& bank_store = store_[bank];
+DramDevice::RowData& DramDevice::row_data(std::uint32_t fbank, std::uint32_t row) {
+  auto& bank_store = store_[fbank];
   if (bank_store.empty()) bank_store.resize(geo_.rows_per_bank);
   auto& slot = bank_store[row];
   if (!slot) {
@@ -74,17 +77,17 @@ DramDevice::RowData& DramDevice::row_data(std::uint32_t bank, std::uint32_t row)
   return *slot;
 }
 
-const DramDevice::RowData* DramDevice::row_data_if_present(std::uint32_t bank,
+const DramDevice::RowData* DramDevice::row_data_if_present(std::uint32_t fbank,
                                                            std::uint32_t row) const {
-  const auto& bank_store = store_[bank];
+  const auto& bank_store = store_[fbank];
   if (bank_store.empty() || !bank_store[row]) return nullptr;
   return bank_store[row].get();
 }
 
-void DramDevice::corrupt_line(std::uint32_t bank, std::uint32_t row,
+void DramDevice::corrupt_line(std::uint32_t fbank, std::uint32_t row,
                               std::uint32_t col, std::uint64_t salt) {
-  RowData& rd = row_data(bank, row);
-  SplitMix64 sm(hash_mix(variation_.config().seed ^ 0xBADBADBAD, bank, row,
+  RowData& rd = row_data(fbank, row);
+  SplitMix64 sm(hash_mix(variation_.config().seed ^ 0xBADBADBAD, fbank, row,
                          (static_cast<std::uint64_t>(col) << 32) | salt));
   // Flip a deterministic set of bits across the 64-byte line. Weak-tRCD
   // failures in real chips flip a few bits per line; eight flips is enough
@@ -96,39 +99,46 @@ void DramDevice::corrupt_line(std::uint32_t bank, std::uint32_t row,
   }
 }
 
-void DramDevice::corrupt_row(std::uint32_t bank, std::uint32_t row, std::uint64_t salt) {
+void DramDevice::corrupt_row(std::uint32_t fbank, std::uint32_t row, std::uint64_t salt) {
   for (std::uint32_t col = 0; col < geo_.cols_per_row(); ++col) {
-    corrupt_line(bank, row, col, salt ^ 0x517EC10E);
+    corrupt_line(fbank, row, col, salt ^ 0x517EC10E);
   }
 }
 
-Picoseconds DramDevice::earliest_act(std::uint32_t bank) const {
-  const BankState& b = banks_[bank];
+Picoseconds DramDevice::bus_free_for(std::uint32_t rank) const {
+  if (data_bus_free_ == kNegInf || rank == last_bus_rank_) return data_bus_free_;
+  return data_bus_free_ + timing_.tRTRS;
+}
+
+Picoseconds DramDevice::earliest_act(const DramAddress& a) const {
+  const BankState& b = banks_[flat(a)];
+  const RankState& r = ranks_[a.rank];
   Picoseconds t = max_ps({b.pre_time + timing_.tRP, b.act_time + timing_.tRC,
-                          last_act_in_group_[geo_.bank_group_of(bank)] + timing_.tRRD_L,
-                          last_act_any_ + timing_.tRRD_S, ref_busy_until_});
-  if (act_window_.size() >= 4) t = std::max(t, act_window_.front() + timing_.tFAW);
+                          r.last_act_in_group[geo_.bank_group_of(a.bank)] + timing_.tRRD_L,
+                          r.last_act_any + timing_.tRRD_S, r.ref_busy_until});
+  if (r.act_window.size() >= 4) t = std::max(t, r.act_window.front() + timing_.tFAW);
   return std::max(t, now_);
 }
 
-Picoseconds DramDevice::earliest_rdwr(std::uint32_t bank, bool is_write) const {
-  const BankState& b = banks_[bank];
-  const std::uint32_t group = geo_.bank_group_of(bank);
+Picoseconds DramDevice::earliest_rdwr(const DramAddress& a, bool is_write) const {
+  const BankState& b = banks_[flat(a)];
+  const RankState& r = ranks_[a.rank];
+  const std::uint32_t group = geo_.bank_group_of(a.bank);
   Picoseconds t = max_ps({b.act_time + timing_.tRCD,
-                          last_col_in_group_[group] + timing_.tCCD_L,
-                          last_col_any_ + timing_.tCCD_S});
+                          r.last_col_in_group[group] + timing_.tCCD_L,
+                          r.last_col_any + timing_.tCCD_S});
   if (!is_write) {
-    t = max_ps({t, wr_data_end_in_group_[group] + timing_.tWTR_L,
-                last_wr_data_end_any_ + timing_.tWTR_S,
-                data_bus_free_ - timing_.tCL});
+    t = max_ps({t, r.wr_data_end_in_group[group] + timing_.tWTR_L,
+                r.last_wr_data_end_any + timing_.tWTR_S,
+                bus_free_for(a.rank) - timing_.tCL});
   } else {
-    t = std::max(t, data_bus_free_ - timing_.tCWL);
+    t = std::max(t, bus_free_for(a.rank) - timing_.tCWL);
   }
   return std::max(t, now_);
 }
 
-Picoseconds DramDevice::earliest_pre(std::uint32_t bank) const {
-  const BankState& b = banks_[bank];
+Picoseconds DramDevice::earliest_pre(const DramAddress& a) const {
+  const BankState& b = banks_[flat(a)];
   return std::max(max_ps({b.act_time + timing_.tRAS, b.last_rd + timing_.tRTP,
                           b.wr_data_end + timing_.tWR}),
                   now_);
@@ -137,23 +147,28 @@ Picoseconds DramDevice::earliest_pre(std::uint32_t bank) const {
 Picoseconds DramDevice::earliest_legal(Command c, const DramAddress& a) const {
   switch (c) {
     case Command::kAct:
-      return earliest_act(a.bank);
+      return earliest_act(a);
     case Command::kRead:
-      return earliest_rdwr(a.bank, /*is_write=*/false);
+      return earliest_rdwr(a, /*is_write=*/false);
     case Command::kWrite:
-      return earliest_rdwr(a.bank, /*is_write=*/true);
+      return earliest_rdwr(a, /*is_write=*/true);
     case Command::kPre:
-      return earliest_pre(a.bank);
+      return earliest_pre(a);
     case Command::kPreAll: {
       Picoseconds t = now_;
       for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
-        if (banks_[bank].active) t = std::max(t, earliest_pre(bank));
+        DramAddress ba = a;
+        ba.bank = bank;
+        if (banks_[flat(ba)].active) t = std::max(t, earliest_pre(ba));
       }
       return t;
     }
     case Command::kRef: {
-      Picoseconds t = std::max(now_, ref_busy_until_);
-      for (const BankState& b : banks_) t = std::max(t, b.pre_time + timing_.tRP);
+      const RankState& r = ranks_[a.rank];
+      Picoseconds t = std::max(now_, r.ref_busy_until);
+      for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
+        t = std::max(t, banks_[geo_.flat_bank(a.rank, bank)].pre_time + timing_.tRP);
+      }
       return t;
     }
     case Command::kNop:
@@ -162,19 +177,27 @@ Picoseconds DramDevice::earliest_legal(Command c, const DramAddress& a) const {
   return now_;
 }
 
-std::optional<std::uint32_t> DramDevice::open_row(std::uint32_t bank) const {
-  EASYDRAM_EXPECTS(bank < banks_.size());
-  if (!banks_[bank].active) return std::nullopt;
-  return banks_[bank].row;
+std::optional<std::uint32_t> DramDevice::open_row(std::uint32_t bank,
+                                                  std::uint32_t rank) const {
+  EASYDRAM_EXPECTS(rank < ranks_.size() && bank < geo_.num_banks());
+  const BankState& b = banks_[geo_.flat_bank(rank, bank)];
+  if (!b.active) return std::nullopt;
+  return b.row;
 }
 
 std::int64_t DramDevice::refreshes_due(Picoseconds at) const {
   return at.count / timing_.tREFI.count;
 }
 
+std::int64_t DramDevice::refreshes_issued(std::uint32_t rank) const {
+  EASYDRAM_EXPECTS(rank < ranks_.size());
+  return ranks_[rank].refreshes_issued;
+}
+
 IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
                               std::span<const std::uint8_t> wdata) {
   EASYDRAM_EXPECTS(at >= now_);
+  EASYDRAM_EXPECTS(a.rank < ranks_.size());
   IssueResult res;
   now_ = at;
   ++cmd_counts_[static_cast<std::size_t>(c)];
@@ -185,17 +208,19 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
 
     case Command::kAct: {
       EASYDRAM_EXPECTS(a.bank < geo_.num_banks() && a.row < geo_.rows_per_bank);
-      BankState& b = banks_[a.bank];
+      const std::uint32_t fbank = flat(a);
+      BankState& b = banks_[fbank];
+      RankState& r = ranks_[a.rank];
       if (b.active) res.violations |= kBankNotIdle;
       if (at < b.pre_time + timing_.tRP) res.violations |= kTrp;
       if (at < b.act_time + timing_.tRC) res.violations |= kTrc;
       const std::uint32_t group = geo_.bank_group_of(a.bank);
-      if (at < last_act_in_group_[group] + timing_.tRRD_L) res.violations |= kTrrd;
-      if (at < last_act_any_ + timing_.tRRD_S) res.violations |= kTrrd;
-      if (act_window_.size() >= 4 && at < act_window_.front() + timing_.tFAW) {
+      if (at < r.last_act_in_group[group] + timing_.tRRD_L) res.violations |= kTrrd;
+      if (at < r.last_act_any + timing_.tRRD_S) res.violations |= kTrrd;
+      if (r.act_window.size() >= 4 && at < r.act_window.front() + timing_.tFAW) {
         res.violations |= kTfaw;
       }
-      if (at < ref_busy_until_) res.violations |= kTrfc;
+      if (at < r.ref_busy_until) res.violations |= kTrfc;
 
       // RowClone: this ACT completes ACT(src) -> early PRE -> early ACT(dst).
       if (b.early_pre_pending) {
@@ -206,11 +231,11 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
           res.rowclone_attempted = true;
           const std::uint32_t src = b.early_pre_row;
           const std::uint32_t dst = a.row;
-          res.rowclone_success = variation_.rowclone_pair_ok(a.bank, src, dst);
+          res.rowclone_success = variation_.rowclone_pair_ok(fbank, src, dst);
           if (res.rowclone_success) {
             if (src != dst) {
-              const RowData* src_data = row_data_if_present(a.bank, src);
-              RowData& dst_data = row_data(a.bank, dst);
+              const RowData* src_data = row_data_if_present(fbank, src);
+              RowData& dst_data = row_data(fbank, dst);
               if (src_data != nullptr) {
                 dst_data = *src_data;
               } else {
@@ -218,7 +243,7 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
               }
             }
           } else {
-            corrupt_row(a.bank, dst, static_cast<std::uint64_t>(at.count));
+            corrupt_row(fbank, dst, static_cast<std::uint64_t>(at.count));
           }
         }
         b.early_pre_pending = false;
@@ -229,16 +254,16 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
       b.act_time = at;
       b.last_rd = b.last_wr = kNegInf;
       b.wr_data_end = b.rd_data_end = kNegInf;
-      last_act_in_group_[group] = at;
-      last_act_any_ = at;
-      act_window_.push_back(at);
-      while (act_window_.size() > 4) act_window_.pop_front();
+      r.last_act_in_group[group] = at;
+      r.last_act_any = at;
+      r.act_window.push_back(at);
+      while (r.act_window.size() > 4) r.act_window.pop_front();
       return res;
     }
 
     case Command::kPre: {
       EASYDRAM_EXPECTS(a.bank < geo_.num_banks());
-      BankState& b = banks_[a.bank];
+      BankState& b = banks_[flat(a)];
       if (!b.active) {
         res.violations |= kBankNotActive;
         return res;
@@ -264,7 +289,7 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
 
     case Command::kPreAll: {
       for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
-        BankState& b = banks_[bank];
+        BankState& b = banks_[geo_.flat_bank(a.rank, bank)];
         if (!b.active) continue;
         if (at < b.act_time + timing_.tRAS) res.violations |= kTras;
         if (at < b.last_rd + timing_.tRTP) res.violations |= kTrtp;
@@ -277,34 +302,37 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
     }
 
     case Command::kRead: {
-      EASYDRAM_EXPECTS(geo_.contains(a));
-      BankState& b = banks_[a.bank];
+      EASYDRAM_EXPECTS(a.bank < geo_.num_banks() && a.row < geo_.rows_per_bank &&
+                       a.col < geo_.cols_per_row());
+      const std::uint32_t fbank = flat(a);
+      BankState& b = banks_[fbank];
+      RankState& r = ranks_[a.rank];
       res.has_data = true;
       if (!b.active || b.row != a.row) {
         // Reading a closed (or different) row returns garbage.
         res.violations |= kBankNotActive;
         res.data_reliable = false;
-        SplitMix64 sm(hash_mix(0xDEAD, a.bank, a.row, a.col));
+        SplitMix64 sm(hash_mix(0xDEAD, fbank, a.row, a.col));
         for (auto& byte : res.data) byte = static_cast<std::uint8_t>(sm.next());
         return res;
       }
       const std::uint32_t group = geo_.bank_group_of(a.bank);
-      if (at < last_col_in_group_[group] + timing_.tCCD_L) res.violations |= kTccd;
-      if (at < last_col_any_ + timing_.tCCD_S) res.violations |= kTccd;
-      if (at < wr_data_end_in_group_[group] + timing_.tWTR_L) res.violations |= kTwtr;
-      if (at < last_wr_data_end_any_ + timing_.tWTR_S) res.violations |= kTwtr;
-      if (at + timing_.tCL < data_bus_free_) res.violations |= kBusConflict;
+      if (at < r.last_col_in_group[group] + timing_.tCCD_L) res.violations |= kTccd;
+      if (at < r.last_col_any + timing_.tCCD_S) res.violations |= kTccd;
+      if (at < r.wr_data_end_in_group[group] + timing_.tWTR_L) res.violations |= kTwtr;
+      if (at < r.last_wr_data_end_any + timing_.tWTR_S) res.violations |= kTwtr;
+      if (at + timing_.tCL < bus_free_for(a.rank)) res.violations |= kBusConflict;
 
       const Picoseconds effective_trcd = at - b.act_time;
       if (effective_trcd < timing_.tRCD) res.violations |= kTrcd;
       res.data_reliable =
-          effective_trcd >= variation_.line_min_trcd(a.bank, a.row, a.col);
+          effective_trcd >= variation_.line_min_trcd(fbank, a.row, a.col);
       if (!res.data_reliable) {
         // The sense amplifier latched a wrong value; it is both returned and
         // restored into the cells.
-        corrupt_line(a.bank, a.row, a.col, static_cast<std::uint64_t>(at.count));
+        corrupt_line(fbank, a.row, a.col, static_cast<std::uint64_t>(at.count));
       }
-      const RowData* rd = row_data_if_present(a.bank, a.row);
+      const RowData* rd = row_data_if_present(fbank, a.row);
       if (rd != nullptr) {
         std::memcpy(res.data.data(), rd->data() + a.col * geo_.col_bytes, 64);
       } else {
@@ -313,47 +341,54 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
 
       b.last_rd = at;
       b.rd_data_end = at + timing_.read_data_latency();
-      last_col_in_group_[group] = at;
-      last_col_any_ = at;
+      r.last_col_in_group[group] = at;
+      r.last_col_any = at;
       data_bus_free_ = std::max(data_bus_free_, at + timing_.read_data_latency());
+      last_bus_rank_ = a.rank;
       return res;
     }
 
     case Command::kWrite: {
-      EASYDRAM_EXPECTS(geo_.contains(a));
+      EASYDRAM_EXPECTS(a.bank < geo_.num_banks() && a.row < geo_.rows_per_bank &&
+                       a.col < geo_.cols_per_row());
       EASYDRAM_EXPECTS(wdata.size() == 64);
-      BankState& b = banks_[a.bank];
+      const std::uint32_t fbank = flat(a);
+      BankState& b = banks_[fbank];
+      RankState& r = ranks_[a.rank];
       if (!b.active || b.row != a.row) {
         res.violations |= kBankNotActive;
         return res;  // Write to a closed row is dropped.
       }
       const std::uint32_t group = geo_.bank_group_of(a.bank);
-      if (at < last_col_in_group_[group] + timing_.tCCD_L) res.violations |= kTccd;
-      if (at < last_col_any_ + timing_.tCCD_S) res.violations |= kTccd;
+      if (at < r.last_col_in_group[group] + timing_.tCCD_L) res.violations |= kTccd;
+      if (at < r.last_col_any + timing_.tCCD_S) res.violations |= kTccd;
       if (at - b.act_time < timing_.tRCD) res.violations |= kTrcd;
-      if (at + timing_.tCWL < data_bus_free_) res.violations |= kBusConflict;
+      if (at + timing_.tCWL < bus_free_for(a.rank)) res.violations |= kBusConflict;
 
-      RowData& rd = row_data(a.bank, a.row);
+      RowData& rd = row_data(fbank, a.row);
       std::memcpy(rd.data() + a.col * geo_.col_bytes, wdata.data(), 64);
 
       b.last_wr = at;
       b.wr_data_end = at + timing_.write_data_latency();
-      wr_data_end_in_group_[group] = b.wr_data_end;
-      last_wr_data_end_any_ = b.wr_data_end;
-      last_col_in_group_[group] = at;
-      last_col_any_ = at;
+      r.wr_data_end_in_group[group] = b.wr_data_end;
+      r.last_wr_data_end_any = b.wr_data_end;
+      r.last_col_in_group[group] = at;
+      r.last_col_any = at;
       data_bus_free_ = std::max(data_bus_free_, b.wr_data_end);
+      last_bus_rank_ = a.rank;
       return res;
     }
 
     case Command::kRef: {
-      for (const BankState& b : banks_) {
+      RankState& r = ranks_[a.rank];
+      for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
+        const BankState& b = banks_[geo_.flat_bank(a.rank, bank)];
         if (b.active) res.violations |= kRefreshNotIdle;
         if (at < b.pre_time + timing_.tRP) res.violations |= kTrp;
       }
-      if (at < ref_busy_until_) res.violations |= kTrfc;
-      ref_busy_until_ = at + timing_.tRFC;
-      ++refreshes_issued_;
+      if (at < r.ref_busy_until) res.violations |= kTrfc;
+      r.ref_busy_until = at + timing_.tRFC;
+      ++r.refreshes_issued;
       return res;
     }
   }
@@ -362,17 +397,19 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
 
 void DramDevice::backdoor_write(const DramAddress& a,
                                 std::span<const std::uint8_t> data) {
-  EASYDRAM_EXPECTS(geo_.contains(a));
+  EASYDRAM_EXPECTS(a.rank < ranks_.size() && a.bank < geo_.num_banks() &&
+                   a.row < geo_.rows_per_bank && a.col < geo_.cols_per_row());
   EASYDRAM_EXPECTS(data.size() == 64);
-  RowData& rd = row_data(a.bank, a.row);
+  RowData& rd = row_data(flat(a), a.row);
   std::memcpy(rd.data() + a.col * geo_.col_bytes, data.data(), 64);
 }
 
 void DramDevice::backdoor_read(const DramAddress& a,
                                std::span<std::uint8_t> out) const {
-  EASYDRAM_EXPECTS(geo_.contains(a));
+  EASYDRAM_EXPECTS(a.rank < ranks_.size() && a.bank < geo_.num_banks() &&
+                   a.row < geo_.rows_per_bank && a.col < geo_.cols_per_row());
   EASYDRAM_EXPECTS(out.size() == 64);
-  const RowData* rd = row_data_if_present(a.bank, a.row);
+  const RowData* rd = row_data_if_present(flat(a), a.row);
   if (rd != nullptr) {
     std::memcpy(out.data(), rd->data() + a.col * geo_.col_bytes, 64);
   } else {
@@ -381,10 +418,12 @@ void DramDevice::backdoor_read(const DramAddress& a,
 }
 
 void DramDevice::backdoor_write_row(std::uint32_t bank, std::uint32_t row,
-                                    std::span<const std::uint8_t> data) {
-  EASYDRAM_EXPECTS(bank < geo_.num_banks() && row < geo_.rows_per_bank);
+                                    std::span<const std::uint8_t> data,
+                                    std::uint32_t rank) {
+  EASYDRAM_EXPECTS(rank < ranks_.size() && bank < geo_.num_banks() &&
+                   row < geo_.rows_per_bank);
   EASYDRAM_EXPECTS(data.size() == geo_.row_bytes);
-  RowData& rd = row_data(bank, row);
+  RowData& rd = row_data(geo_.flat_bank(rank, bank), row);
   std::memcpy(rd.data(), data.data(), geo_.row_bytes);
 }
 

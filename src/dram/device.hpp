@@ -57,11 +57,18 @@ struct IssueResult {
   bool rowclone_success = false;
 };
 
-/// Behavioural + timing model of one DDR4 rank with process variation.
+/// Behavioural + timing model of one DDR4 *channel* — one or more ranks
+/// sharing a command/data bus — with process variation.
 ///
-/// Commands carry absolute issue timestamps (integral picoseconds); the
-/// caller (DRAM Bender's interpreter, or a test) owns the timeline. The
-/// device checks nominal timings, reports violations, and models the
+/// Commands carry absolute issue timestamps (integral picoseconds) and a
+/// rank coordinate in their DramAddress; the caller (DRAM Bender's
+/// interpreter, or a test) owns the timeline. Bank and rank-level timing
+/// state (tFAW window, tRRD, tWTR, refresh) is tracked per rank; the data
+/// bus is shared across ranks and consecutive bursts from different ranks
+/// pay the tRTRS switch penalty. With the default single-rank geometry all
+/// of this reduces exactly to the original one-rank model.
+///
+/// The device checks nominal timings, reports violations, and models the
 /// out-of-spec behaviours the paper's techniques rely on:
 ///
 ///  * A read whose ACT->RD distance is below the nominal tRCD succeeds iff
@@ -82,8 +89,12 @@ class DramDevice {
   const TimingParams& timing() const { return timing_; }
   const VariationModel& variation() const { return variation_; }
 
+  std::uint32_t num_ranks() const { return geo_.ranks_per_channel; }
+
   /// Issues `c` at absolute time `at`. Time must be non-decreasing across
   /// calls. `wdata` must hold 64 bytes for kWrite and is ignored otherwise.
+  /// `a.rank` selects the rank; `a.channel` is ignored (a device *is* one
+  /// channel).
   IssueResult issue(Command c, const DramAddress& a, Picoseconds at,
                     std::span<const std::uint8_t> wdata = {});
 
@@ -92,16 +103,17 @@ class DramDevice {
   /// command sequences; techniques ignore it deliberately.
   Picoseconds earliest_legal(Command c, const DramAddress& a) const;
 
-  /// Open row of `bank`, if any.
-  std::optional<std::uint32_t> open_row(std::uint32_t bank) const;
+  /// Open row of `bank` in `rank`, if any.
+  std::optional<std::uint32_t> open_row(std::uint32_t bank,
+                                        std::uint32_t rank = 0) const;
 
   /// Time of the last issued command (the device clock high-water mark).
   Picoseconds now() const { return now_; }
 
-  /// Number of REF commands the controller should have issued by `at` to
-  /// keep every row refreshed (at / tREFI).
+  /// Number of REF commands the controller should have issued *per rank* by
+  /// `at` to keep every row refreshed (at / tREFI).
   std::int64_t refreshes_due(Picoseconds at) const;
-  std::int64_t refreshes_issued() const { return refreshes_issued_; }
+  std::int64_t refreshes_issued(std::uint32_t rank = 0) const;
 
   /// Test/initialization backdoor: reads or writes stored cells without
   /// timing or state effects. Unwritten cells read as zero.
@@ -109,7 +121,8 @@ class DramDevice {
   void backdoor_read(const DramAddress& a, std::span<std::uint8_t> out) const;
   /// Copies a whole row (used by test fixtures).
   void backdoor_write_row(std::uint32_t bank, std::uint32_t row,
-                          std::span<const std::uint8_t> data);
+                          std::span<const std::uint8_t> data,
+                          std::uint32_t rank = 0);
 
   /// Statistics: total commands issued per command kind.
   std::int64_t commands_issued(Command c) const;
@@ -130,38 +143,55 @@ class DramDevice {
     Picoseconds early_pre_at;
   };
 
+  /// Timing state one rank carries independently of its siblings.
+  struct RankState {
+    std::deque<Picoseconds> act_window;          ///< Last ACT times (tFAW).
+    std::vector<Picoseconds> last_act_in_group;  ///< Per bank group (tRRD_L).
+    Picoseconds last_act_any;
+    std::vector<Picoseconds> last_col_in_group;  ///< Per bank group (tCCD_L).
+    Picoseconds last_col_any;
+    Picoseconds last_wr_data_end_any;            ///< For tWTR.
+    std::vector<Picoseconds> wr_data_end_in_group;
+    Picoseconds ref_busy_until;
+    std::int64_t refreshes_issued = 0;
+  };
+
   using RowData = std::array<std::uint8_t, 8192>;
 
-  RowData& row_data(std::uint32_t bank, std::uint32_t row);
-  const RowData* row_data_if_present(std::uint32_t bank, std::uint32_t row) const;
+  /// Per-channel flat bank index; rank 0 coincides with the historical
+  /// single-rank indices (and with the VariationModel's bank namespace).
+  std::uint32_t flat(const DramAddress& a) const {
+    return geo_.flat_bank(a.rank, a.bank);
+  }
 
-  void corrupt_line(std::uint32_t bank, std::uint32_t row, std::uint32_t col,
+  RowData& row_data(std::uint32_t fbank, std::uint32_t row);
+  const RowData* row_data_if_present(std::uint32_t fbank, std::uint32_t row) const;
+
+  void corrupt_line(std::uint32_t fbank, std::uint32_t row, std::uint32_t col,
                     std::uint64_t salt);
-  void corrupt_row(std::uint32_t bank, std::uint32_t row, std::uint64_t salt);
+  void corrupt_row(std::uint32_t fbank, std::uint32_t row, std::uint64_t salt);
 
-  Picoseconds earliest_act(std::uint32_t bank) const;
-  Picoseconds earliest_rdwr(std::uint32_t bank, bool is_write) const;
-  Picoseconds earliest_pre(std::uint32_t bank) const;
+  /// Data-bus availability for a burst from `rank`: crossing ranks adds the
+  /// tRTRS turnaround on top of the previous burst's occupancy.
+  Picoseconds bus_free_for(std::uint32_t rank) const;
+
+  Picoseconds earliest_act(const DramAddress& a) const;
+  Picoseconds earliest_rdwr(const DramAddress& a, bool is_write) const;
+  Picoseconds earliest_pre(const DramAddress& a) const;
 
   Geometry geo_;
   TimingParams timing_;
   VariationModel variation_;
 
-  std::vector<BankState> banks_;
-  // Sparse storage: per-bank vector of lazily allocated rows.
+  std::vector<BankState> banks_;  ///< Indexed by flat (rank, bank).
+  // Sparse storage: per-flat-bank vector of lazily allocated rows.
   std::vector<std::vector<std::unique_ptr<RowData>>> store_;
 
-  // Rank-level state.
-  std::deque<Picoseconds> act_window_;          ///< Last ACT times (tFAW).
-  std::vector<Picoseconds> last_act_in_group_;  ///< Per bank group (tRRD_L).
-  Picoseconds last_act_any_;
-  std::vector<Picoseconds> last_col_in_group_;  ///< Per bank group (tCCD_L).
-  Picoseconds last_col_any_;
-  Picoseconds last_wr_data_end_any_;            ///< For tWTR.
-  std::vector<Picoseconds> wr_data_end_in_group_;
+  std::vector<RankState> ranks_;
+
+  // Channel-level state: one data bus shared by every rank.
   Picoseconds data_bus_free_;
-  Picoseconds ref_busy_until_;
-  std::int64_t refreshes_issued_ = 0;
+  std::uint32_t last_bus_rank_ = 0;
 
   Picoseconds now_;
   std::array<std::int64_t, 7> cmd_counts_{};

@@ -7,14 +7,21 @@
 
 namespace easydram::dram {
 
-/// Physical organization of the modelled rank.
+/// Physical organization of the modelled memory system.
 ///
 /// The defaults match the paper's case-study memory system (§7.2): a single
 /// channel, single rank of DDR4 with 4 bank groups x 4 banks and 32 K rows
 /// per bank; a row holds 8 KiB at rank level and a column access moves one
 /// 64-byte cache line. Rows are grouped into subarrays of 512 rows, the
 /// granularity at which RowClone (an intra-subarray operation) can move data.
+///
+/// `channels`/`ranks_per_channel` generalize the address space to
+/// channels x ranks x banks; per-bank quantities (`num_banks`,
+/// `rows_per_bank`, ...) always describe ONE rank, so existing single-rank
+/// code keeps its meaning unchanged.
 struct Geometry {
+  std::uint32_t channels = 1;
+  std::uint32_t ranks_per_channel = 1;
   std::uint32_t bank_groups = 4;
   std::uint32_t banks_per_group = 4;
   std::uint32_t rows_per_bank = 32768;
@@ -22,13 +29,29 @@ struct Geometry {
   std::uint32_t col_bytes = 64;
   std::uint32_t rows_per_subarray = 512;
 
+  /// Banks in one rank.
   constexpr std::uint32_t num_banks() const { return bank_groups * banks_per_group; }
+  /// Banks in one channel (across its ranks).
+  constexpr std::uint32_t banks_per_channel() const {
+    return num_banks() * ranks_per_channel;
+  }
+  /// Banks in the whole system.
+  constexpr std::uint32_t total_banks() const {
+    return banks_per_channel() * channels;
+  }
   constexpr std::uint32_t cols_per_row() const { return row_bytes / col_bytes; }
   constexpr std::uint32_t subarrays_per_bank() const {
     return rows_per_bank / rows_per_subarray;
   }
-  constexpr std::uint64_t capacity_bytes() const {
+  constexpr std::uint64_t rank_capacity_bytes() const {
     return static_cast<std::uint64_t>(num_banks()) * rows_per_bank * row_bytes;
+  }
+  constexpr std::uint64_t channel_capacity_bytes() const {
+    return rank_capacity_bytes() * ranks_per_channel;
+  }
+  /// Total addressable capacity across every channel and rank.
+  constexpr std::uint64_t capacity_bytes() const {
+    return channel_capacity_bytes() * channels;
   }
 
   constexpr std::uint32_t bank_group_of(std::uint32_t bank) const {
@@ -41,9 +64,23 @@ struct Geometry {
     return subarray_of(row_a) == subarray_of(row_b);
   }
 
+  /// Flattens (rank, bank-in-rank) to a per-channel bank index; the
+  /// per-channel device and the process-variation model index bank state
+  /// this way so rank 0 coincides with the historical single-rank indices.
+  constexpr std::uint32_t flat_bank(std::uint32_t rank, std::uint32_t bank) const {
+    return rank * num_banks() + bank;
+  }
+
+  /// Flattens a full address to a system-wide bank index (used as the
+  /// RowClone-map key namespace; equals `bank` for the 1x1 default).
+  constexpr std::uint32_t system_bank(const DramAddress& a) const {
+    return (a.channel * ranks_per_channel + a.rank) * num_banks() + a.bank;
+  }
+
   /// Validates an address against this geometry.
   constexpr bool contains(const DramAddress& a) const {
-    return a.bank < num_banks() && a.row < rows_per_bank && a.col < cols_per_row();
+    return a.channel < channels && a.rank < ranks_per_channel &&
+           a.bank < num_banks() && a.row < rows_per_bank && a.col < cols_per_row();
   }
 };
 

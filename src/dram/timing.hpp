@@ -29,6 +29,10 @@ struct TimingParams {
   Picoseconds tFAW{};    ///< Four-activate window.
   Picoseconds tRFC{};    ///< Refresh cycle time.
   Picoseconds tREFI{};   ///< Average refresh interval.
+  /// Rank-to-rank data-bus switch time: extra bus turnaround charged when
+  /// consecutive column bursts on one channel come from different ranks.
+  /// Irrelevant (never charged) with a single rank.
+  Picoseconds tRTRS{};
 
   /// Read latency from RD command to last data beat on the bus.
   constexpr Picoseconds read_data_latency() const { return tCL + tBL; }
@@ -61,6 +65,7 @@ constexpr TimingParams ddr4_1333() {
   t.tFAW = 30000_ps;
   t.tRFC = 260000_ps;   // 4 Gb device
   t.tREFI = 7800000_ps;
+  t.tRTRS = 3000_ps;    // 2 tCK
   return t;
 }
 
@@ -87,6 +92,7 @@ constexpr TimingParams ddr4_2400() {
   t.tFAW = 21000_ps;
   t.tRFC = 260000_ps;
   t.tREFI = 7800000_ps;
+  t.tRTRS = 1666_ps;    // 2 tCK
   return t;
 }
 

@@ -19,15 +19,30 @@ enum class Command : std::uint8_t {
 
 std::string_view to_string(Command c);
 
-/// A fully decoded DRAM coordinate. `bank` is the flat bank index
-/// (bank_group * banks_per_group + bank_in_group); `col` addresses one
-/// 64-byte column burst within the row.
+/// A fully decoded DRAM coordinate. `bank` is the flat bank index within
+/// its rank (bank_group * banks_per_group + bank_in_group); `col` addresses
+/// one 64-byte column burst within the row. `channel` selects the memory
+/// channel and `rank` the rank within it; they default to 0 and trail the
+/// original fields so single-channel/single-rank aggregate initializers
+/// (`DramAddress{bank, row, col}`) keep their pre-multi-channel meaning.
 struct DramAddress {
   std::uint32_t bank = 0;
   std::uint32_t row = 0;
   std::uint32_t col = 0;
+  std::uint32_t channel = 0;
+  std::uint32_t rank = 0;
 
   bool operator==(const DramAddress&) const = default;
 };
+
+/// Packs the row-identifying coordinates (channel, rank, bank, row) into one
+/// comparable key. Schedulers and the weak-row Bloom filter use this as the
+/// row-hit / row-lookup key; with channel == rank == 0 it reduces to the
+/// historical `(bank << 32) | row` encoding.
+constexpr std::uint64_t row_key(const DramAddress& a) {
+  return (static_cast<std::uint64_t>(a.channel) << 54) |
+         (static_cast<std::uint64_t>(a.rank) << 48) |
+         (static_cast<std::uint64_t>(a.bank) << 32) | a.row;
+}
 
 }  // namespace easydram::dram

@@ -39,7 +39,7 @@ double VariationModel::smooth_noise(std::uint32_t bank, std::uint32_t row) const
 }
 
 Picoseconds VariationModel::row_min_trcd(std::uint32_t bank, std::uint32_t row) const {
-  EASYDRAM_EXPECTS(bank < geo_.num_banks() && row < geo_.rows_per_bank);
+  EASYDRAM_EXPECTS(bank < geo_.banks_per_channel() && row < geo_.rows_per_bank);
   const double n = smooth_noise(bank, row);
   const double shaped = std::pow(n, cfg_.shape);
   const double span = static_cast<double>(cfg_.max_trcd.count - cfg_.min_trcd.count);
@@ -49,7 +49,8 @@ Picoseconds VariationModel::row_min_trcd(std::uint32_t bank, std::uint32_t row) 
 
 Picoseconds VariationModel::line_min_trcd(std::uint32_t bank, std::uint32_t row,
                                           std::uint32_t col) const {
-  EASYDRAM_EXPECTS(geo_.contains(DramAddress{bank, row, col}));
+  EASYDRAM_EXPECTS(bank < geo_.banks_per_channel() && row < geo_.rows_per_bank &&
+                   col < geo_.cols_per_row());
   const Picoseconds row_value = row_min_trcd(bank, row);
   // One deterministic "anchor" line per row carries the row's full value so
   // the row minimum is exactly the max over its lines.

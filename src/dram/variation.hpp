@@ -42,6 +42,11 @@ struct VariationConfig {
 /// tRCD and per-pair RowClone feasibility. All queries are pure functions of
 /// (seed, coordinates) so that "the chip" behaves identically across runs,
 /// which is what makes the paper's 1000-trial clonability test meaningful.
+///
+/// `bank` arguments accept the per-channel flat index (rank * num_banks +
+/// bank), so every rank of a multi-rank channel gets its own variation
+/// field; rank 0 coincides with the historical single-rank indices. Each
+/// channel owns a separately seeded model.
 class VariationModel {
  public:
   VariationModel(const Geometry& geo, const VariationConfig& cfg)

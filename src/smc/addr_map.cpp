@@ -13,14 +13,21 @@ dram::DramAddress LinearMapper::to_dram(std::uint64_t paddr) const {
   a.col = static_cast<std::uint32_t>(line % cols);
   const std::uint64_t row_linear = line / cols;
   a.row = static_cast<std::uint32_t>(row_linear % geo_.rows_per_bank);
-  a.bank = static_cast<std::uint32_t>(row_linear / geo_.rows_per_bank);
+  const std::uint64_t bank_linear = row_linear / geo_.rows_per_bank;
+  a.bank = static_cast<std::uint32_t>(bank_linear % geo_.num_banks());
+  const std::uint64_t rank_linear = bank_linear / geo_.num_banks();
+  a.rank = static_cast<std::uint32_t>(rank_linear % geo_.ranks_per_channel);
+  a.channel = static_cast<std::uint32_t>(rank_linear / geo_.ranks_per_channel);
   return a;
 }
 
 std::uint64_t LinearMapper::to_physical(const dram::DramAddress& a) const {
   EASYDRAM_EXPECTS(geo_.contains(a));
-  const std::uint64_t row_linear =
-      static_cast<std::uint64_t>(a.bank) * geo_.rows_per_bank + a.row;
+  const std::uint64_t bank_linear =
+      (static_cast<std::uint64_t>(a.channel) * geo_.ranks_per_channel + a.rank) *
+          geo_.num_banks() +
+      a.bank;
+  const std::uint64_t row_linear = bank_linear * geo_.rows_per_bank + a.row;
   return (row_linear * geo_.cols_per_row() + a.col) * geo_.col_bytes;
 }
 
@@ -30,17 +37,81 @@ dram::DramAddress LineInterleavedMapper::to_dram(std::uint64_t paddr) const {
   const std::uint64_t line = paddr / geo_.col_bytes;
   dram::DramAddress a;
   a.bank = static_cast<std::uint32_t>(line % geo_.num_banks());
-  const std::uint64_t upper = line / geo_.num_banks();
+  std::uint64_t upper = line / geo_.num_banks();
+  a.rank = static_cast<std::uint32_t>(upper % geo_.ranks_per_channel);
+  upper /= geo_.ranks_per_channel;
   a.col = static_cast<std::uint32_t>(upper % geo_.cols_per_row());
-  a.row = static_cast<std::uint32_t>(upper / geo_.cols_per_row());
+  upper /= geo_.cols_per_row();
+  a.row = static_cast<std::uint32_t>(upper % geo_.rows_per_bank);
+  a.channel = static_cast<std::uint32_t>(upper / geo_.rows_per_bank);
   return a;
 }
 
 std::uint64_t LineInterleavedMapper::to_physical(const dram::DramAddress& a) const {
   EASYDRAM_EXPECTS(geo_.contains(a));
-  const std::uint64_t upper =
-      static_cast<std::uint64_t>(a.row) * geo_.cols_per_row() + a.col;
+  std::uint64_t upper =
+      static_cast<std::uint64_t>(a.channel) * geo_.rows_per_bank + a.row;
+  upper = upper * geo_.cols_per_row() + a.col;
+  upper = upper * geo_.ranks_per_channel + a.rank;
   return (upper * geo_.num_banks() + a.bank) * geo_.col_bytes;
+}
+
+dram::DramAddress ChannelInterleavedMapper::to_dram(std::uint64_t paddr) const {
+  EASYDRAM_EXPECTS(paddr % 64 == 0);
+  EASYDRAM_EXPECTS(paddr < geo_.capacity_bytes());
+  const std::uint64_t line = paddr / geo_.col_bytes;
+  dram::DramAddress a;
+  a.channel = static_cast<std::uint32_t>(line % geo_.channels);
+  std::uint64_t upper = line / geo_.channels;
+  a.bank = static_cast<std::uint32_t>(upper % geo_.num_banks());
+  upper /= geo_.num_banks();
+  a.rank = static_cast<std::uint32_t>(upper % geo_.ranks_per_channel);
+  upper /= geo_.ranks_per_channel;
+  a.col = static_cast<std::uint32_t>(upper % geo_.cols_per_row());
+  a.row = static_cast<std::uint32_t>(upper / geo_.cols_per_row());
+  return a;
+}
+
+std::uint64_t ChannelInterleavedMapper::to_physical(const dram::DramAddress& a) const {
+  EASYDRAM_EXPECTS(geo_.contains(a));
+  std::uint64_t upper =
+      static_cast<std::uint64_t>(a.row) * geo_.cols_per_row() + a.col;
+  upper = upper * geo_.ranks_per_channel + a.rank;
+  upper = upper * geo_.num_banks() + a.bank;
+  return (upper * geo_.channels + a.channel) * geo_.col_bytes;
+}
+
+std::string_view to_string(MappingKind kind) {
+  switch (kind) {
+    case MappingKind::kLinear: return "linear";
+    case MappingKind::kLineInterleaved: return "line";
+    case MappingKind::kChannelInterleaved: return "channel";
+  }
+  return "?";
+}
+
+std::optional<MappingKind> parse_mapping(std::string_view name) {
+  if (name == "linear") return MappingKind::kLinear;
+  if (name == "line" || name == "line-interleaved") {
+    return MappingKind::kLineInterleaved;
+  }
+  if (name == "channel" || name == "channel-interleaved") {
+    return MappingKind::kChannelInterleaved;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<AddressMapper> make_mapper(MappingKind kind,
+                                           const dram::Geometry& geo) {
+  switch (kind) {
+    case MappingKind::kLinear: return std::make_unique<LinearMapper>(geo);
+    case MappingKind::kLineInterleaved:
+      return std::make_unique<LineInterleavedMapper>(geo);
+    case MappingKind::kChannelInterleaved:
+      return std::make_unique<ChannelInterleavedMapper>(geo);
+  }
+  EASYDRAM_EXPECTS(!"unknown MappingKind");
+  return nullptr;
 }
 
 }  // namespace easydram::smc

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "dram/geometry.hpp"
 #include "dram/types.hpp"
@@ -12,8 +14,11 @@ namespace easydram::smc {
 ///
 /// Mappers are invertible so that both the processor-side allocation code
 /// and the software memory controller can convert between a physical
-/// address and a <bank, row, column> triplet, as the paper requires for
-/// solving RowClone's alignment problem.
+/// address and a <channel, rank, bank, row, column> coordinate, as the
+/// paper requires for solving RowClone's alignment problem. Every mapper
+/// covers the full multi-channel capacity of its geometry; with the default
+/// 1-channel/1-rank geometry each reduces exactly to its original
+/// single-rank bit layout.
 class AddressMapper {
  public:
   virtual ~AddressMapper() = default;
@@ -25,12 +30,16 @@ class AddressMapper {
   virtual std::uint64_t to_physical(const dram::DramAddress& a) const = 0;
 
   virtual const dram::Geometry& geometry() const = 0;
+
+  virtual std::string_view name() const = 0;
 };
 
 /// Row-linear mapping: consecutive physical 8 KiB blocks are consecutive
-/// rows of the same bank; banks follow each other. Keeps DRAM rows (and
-/// whole subarrays) physically contiguous, which is the allocator-friendly
-/// layout the RowClone case study uses.
+/// rows of the same bank; banks follow each other, then ranks, then
+/// channels (channel bits at the top — consecutive capacity blocks stay on
+/// one channel). Keeps DRAM rows (and whole subarrays) physically
+/// contiguous, which is the allocator-friendly layout the RowClone case
+/// study uses.
 class LinearMapper final : public AddressMapper {
  public:
   explicit LinearMapper(const dram::Geometry& geo) : geo_(geo) {}
@@ -38,14 +47,17 @@ class LinearMapper final : public AddressMapper {
   dram::DramAddress to_dram(std::uint64_t paddr) const override;
   std::uint64_t to_physical(const dram::DramAddress& a) const override;
   const dram::Geometry& geometry() const override { return geo_; }
+  std::string_view name() const override { return "linear"; }
 
  private:
   dram::Geometry geo_;
 };
 
-/// Line-interleaved mapping: consecutive cache lines stripe across banks
-/// (bank bits just above the line offset), the conventional layout for
-/// bank-level parallelism. Used by the scheduler-focused experiments.
+/// Line-interleaved mapping: consecutive cache lines stripe across the
+/// banks of one channel (bank bits just above the line offset, rank bits
+/// above them), the conventional layout for bank-level parallelism within a
+/// channel; channel bits sit at the top. Used by the scheduler-focused
+/// experiments.
 class LineInterleavedMapper final : public AddressMapper {
  public:
   explicit LineInterleavedMapper(const dram::Geometry& geo) : geo_(geo) {}
@@ -53,9 +65,39 @@ class LineInterleavedMapper final : public AddressMapper {
   dram::DramAddress to_dram(std::uint64_t paddr) const override;
   std::uint64_t to_physical(const dram::DramAddress& a) const override;
   const dram::Geometry& geometry() const override { return geo_; }
+  std::string_view name() const override { return "line"; }
 
  private:
   dram::Geometry geo_;
 };
+
+/// Channel-interleaved mapping: channel bits directly above the line offset
+/// (consecutive cache lines hit consecutive channels), then bank and rank
+/// bits — the conventional high-bandwidth layout that spreads any streaming
+/// footprint across every channel's bus.
+class ChannelInterleavedMapper final : public AddressMapper {
+ public:
+  explicit ChannelInterleavedMapper(const dram::Geometry& geo) : geo_(geo) {}
+
+  dram::DramAddress to_dram(std::uint64_t paddr) const override;
+  std::uint64_t to_physical(const dram::DramAddress& a) const override;
+  const dram::Geometry& geometry() const override { return geo_; }
+  std::string_view name() const override { return "channel"; }
+
+ private:
+  dram::Geometry geo_;
+};
+
+/// The mapper family by name (SystemConfig::mapping, the CLI's --mapping).
+enum class MappingKind : std::uint8_t {
+  kLinear,
+  kLineInterleaved,
+  kChannelInterleaved,
+};
+
+std::string_view to_string(MappingKind kind);
+std::optional<MappingKind> parse_mapping(std::string_view name);
+std::unique_ptr<AddressMapper> make_mapper(MappingKind kind,
+                                           const dram::Geometry& geo);
 
 }  // namespace easydram::smc

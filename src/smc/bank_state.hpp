@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dram/types.hpp"
+
+namespace easydram::smc {
+
+/// View of DRAM bank state a scheduling policy may consult.
+///
+/// This is a lightweight abstract interface rather than a std::function:
+/// `open_row` sits on the scheduler hot path (one query per scanned table
+/// entry), so the query must be a plain virtual dispatch with no closure
+/// allocation or type-erased call overhead. EasyApi implements it directly;
+/// tests and benches provide small fakes.
+class BankStateView {
+ public:
+  /// Open row of the bank addressed by `a` (row/col are ignored; channel
+  /// and rank select the bank together with `a.bank`), or nullopt when the
+  /// bank is precharged.
+  virtual std::optional<std::uint32_t> open_row(const dram::DramAddress& a) const = 0;
+
+ protected:
+  ~BankStateView() = default;  ///< Never owned/deleted through the interface.
+};
+
+}  // namespace easydram::smc

@@ -38,6 +38,17 @@ class BloomFilter {
     return true;
   }
 
+  /// Unions another filter's bits into this one (same geometry/seed
+  /// required — e.g. per-channel weak-row filters merged into the one
+  /// filter every channel's controller consults). Keeps the no-false-
+  /// negative guarantee over the union of inserted keys.
+  void merge(const BloomFilter& other) {
+    EASYDRAM_EXPECTS(words_.size() == other.words_.size());
+    EASYDRAM_EXPECTS(hashes_ == other.hashes_ && seed_ == other.seed_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    inserted_ += other.inserted_;
+  }
+
   std::size_t size_bits() const { return words_.size() * 64; }
   std::size_t inserted_keys() const { return inserted_; }
 

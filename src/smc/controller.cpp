@@ -45,10 +45,10 @@ bool MemoryController::step(EasyApi& api) {
     return worked;
   }
 
-  // (ii) Make a scheduling decision.
-  BankStateView banks([&api](std::uint32_t bank) { return api.open_row(bank); });
+  // (ii) Make a scheduling decision. The api itself is the scheduler's
+  // bank-state view (one virtual call per scanned entry, no closures).
   std::size_t scanned = 0;
-  const auto pick = options_.scheduler->pick(table_, banks, scanned);
+  const auto pick = options_.scheduler->pick(table_, api, scanned);
   api.charge(static_cast<std::int64_t>(scanned) *
              api.tile().meter().costs().schedule_scan_entry);
   EASYDRAM_ENSURES(pick.has_value());
@@ -75,11 +75,10 @@ void MemoryController::serve(EasyApi& api, TableEntry entry) {
   }
 }
 
-Picoseconds MemoryController::trcd_for(std::uint32_t bank, std::uint32_t row,
+Picoseconds MemoryController::trcd_for(const dram::DramAddress& a,
                                        const EasyApi& api) const {
   if (options_.weak_rows == nullptr) return api.timing().tRCD;
-  const std::uint64_t key = (static_cast<std::uint64_t>(bank) << 32) | row;
-  if (options_.weak_rows->maybe_contains(key)) return api.timing().tRCD;
+  if (options_.weak_rows->maybe_contains(dram::row_key(a))) return api.timing().tRCD;
   return options_.reduced_trcd;
 }
 
@@ -96,8 +95,7 @@ void MemoryController::serve_column_batch(EasyApi& api, TableEntry first) {
     const TableEntry& e = table_.at(i);
     const bool column_op = e.request.kind == tile::RequestKind::kRead ||
                            e.request.kind == tile::RequestKind::kWrite;
-    if (column_op && e.dram_addr.bank == target.bank &&
-        e.dram_addr.row == target.row) {
+    if (column_op && dram::row_key(e.dram_addr) == dram::row_key(target)) {
       api.charge(api.tile().meter().costs().schedule_scan_entry);
       batch.push_back(table_.remove(i));
     } else {
@@ -110,7 +108,7 @@ void MemoryController::serve_column_batch(EasyApi& api, TableEntry first) {
   if (options_.weak_rows != nullptr) {
     api.charge_overlapped(api.tile().meter().costs().bloom_check);
   }
-  const Picoseconds trcd = trcd_for(target.bank, target.row, api);
+  const Picoseconds trcd = trcd_for(target, api);
   bool first_access = true;
   for (const TableEntry& e : batch) {
     if (e.request.kind == tile::RequestKind::kRead) {
@@ -147,9 +145,15 @@ void MemoryController::serve_rowclone(EasyApi& api, const TableEntry& entry) {
 
   tile::Response resp;
   resp.id = entry.request.id;
+  // RowClone is an intra-bank operation: the pair must share the full
+  // (channel, rank, bank) coordinate. The clone map is keyed by the
+  // system-wide bank index so ranks/channels never alias.
+  const bool same_bank = src.channel == dst.channel && src.rank == dst.rank &&
+                         src.bank == dst.bank;
   const bool known_clonable =
-      options_.clonable != nullptr && src.bank == dst.bank &&
-      options_.clonable->clonable(src.bank, src.row, dst.row);
+      options_.clonable != nullptr && same_bank &&
+      options_.clonable->clonable(api.geometry().system_bank(src), src.row,
+                                  dst.row);
   if (!known_clonable) {
     // Unverified or failing pair: tell the processor to fall back to
     // load/store copy (§7.1, "Source and Target Row Allocation").
@@ -158,7 +162,7 @@ void MemoryController::serve_rowclone(EasyApi& api, const TableEntry& entry) {
     return;
   }
 
-  api.rowclone(src.bank, src.row, dst.row);
+  api.rowclone(src.bank, src.row, dst.row, src.rank);
   const auto exec = api.flush_commands();
   resp.ok = exec.rowclone_attempts == exec.rowclone_successes;
   api.enqueue_response(resp);
@@ -169,14 +173,14 @@ void MemoryController::serve_profile(EasyApi& api, const TableEntry& entry) {
   const auto pattern = profile_pattern(entry.request.paddr);
 
   // Step 1: initialize the target cache line with a known pattern.
-  api.close_row(a.bank);
+  api.close_row(a.bank, a.rank);
   api.write_sequence(a, pattern);
-  api.close_row(a.bank);
+  api.close_row(a.bank, a.rank);
   api.flush_commands();
 
   // Step 2: access it with the requested tRCD.
   api.read_sequence_reduced(a, entry.request.profile_trcd);
-  api.close_row(a.bank);
+  api.close_row(a.bank, a.rank);
   api.flush_commands();
 
   // Step 3: report whether the reduced access returned correct data.

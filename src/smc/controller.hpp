@@ -69,9 +69,10 @@ class MemoryController final : public Controller {
   void serve_rowclone(EasyApi& api, const TableEntry& entry);
   void serve_profile(EasyApi& api, const TableEntry& entry);
 
-  /// Chooses the tRCD for opening `row` of `bank` per the Bloom filter.
-  Picoseconds trcd_for(std::uint32_t bank, std::uint32_t row,
-                       const EasyApi& api) const;
+  /// Chooses the tRCD for opening the row addressed by `a` per the Bloom
+  /// filter (keyed by dram::row_key, so distinct ranks/channels never
+  /// alias).
+  Picoseconds trcd_for(const dram::DramAddress& a, const EasyApi& api) const;
 
   ControllerOptions options_;
   RequestTable table_;

@@ -5,13 +5,15 @@
 namespace easydram::smc {
 
 EasyApi::EasyApi(tile::EasyTile& tile, dram::DramDevice& device,
-                 const AddressMapper& mapper, timescale::TimeKeeper& keeper)
+                 const AddressMapper& mapper, timescale::TimeKeeper& keeper,
+                 std::uint32_t channel)
     : tile_(&tile),
       device_(&device),
       mapper_(&mapper),
       keeper_(&keeper),
+      channel_(channel),
       interpreter_(device),
-      pending_row_(device.geometry().num_banks()) {}
+      pending_row_(device.geometry().banks_per_channel()) {}
 
 void EasyApi::sync_meter() {
   keeper_->account_smc_cycles(tile_->meter().take());
@@ -83,18 +85,22 @@ void EasyApi::note_service_start(std::int64_t issue_proc_cycle) {
   keeper_->account_schedule_decision();
 }
 
-std::optional<std::uint32_t> EasyApi::open_row(std::uint32_t bank) const {
-  return effective_open_row(bank);
+std::optional<std::uint32_t> EasyApi::open_row(std::uint32_t bank,
+                                               std::uint32_t rank) const {
+  return effective_open_row(bank, rank);
 }
 
-std::optional<std::uint32_t> EasyApi::effective_open_row(std::uint32_t bank) const {
-  EASYDRAM_EXPECTS(bank < pending_row_.size());
-  if (pending_row_[bank].has_value()) return *pending_row_[bank];
-  return device_->open_row(bank);
+std::optional<std::uint32_t> EasyApi::effective_open_row(std::uint32_t bank,
+                                                         std::uint32_t rank) const {
+  const std::uint32_t idx = flat(rank, bank);
+  EASYDRAM_EXPECTS(idx < pending_row_.size());
+  if (pending_row_[idx].has_value()) return *pending_row_[idx];
+  return device_->open_row(bank, rank);
 }
 
-void EasyApi::set_pending_row(std::uint32_t bank, std::optional<std::uint32_t> row) {
-  pending_row_[bank] = row;
+void EasyApi::set_pending_row(std::uint32_t bank, std::uint32_t rank,
+                              std::optional<std::uint32_t> row) {
+  pending_row_[flat(rank, bank)] = row;
 }
 
 dram::DramAddress EasyApi::get_addr_mapping(std::uint64_t paddr) {
@@ -102,16 +108,18 @@ dram::DramAddress EasyApi::get_addr_mapping(std::uint64_t paddr) {
   return mapper_->to_dram(paddr);
 }
 
-void EasyApi::ddr_activate(std::uint32_t bank, std::uint32_t row) {
+void EasyApi::ddr_activate(std::uint32_t bank, std::uint32_t row,
+                           std::uint32_t rank) {
   charge_service(tile_->meter().costs().command_push);
-  program_.ddr(dram::Command::kAct, dram::DramAddress{bank, row, 0});
-  set_pending_row(bank, row);
+  program_.ddr(dram::Command::kAct,
+               dram::DramAddress{bank, row, 0, channel_, rank});
+  set_pending_row(bank, rank, row);
 }
 
-void EasyApi::ddr_precharge(std::uint32_t bank) {
+void EasyApi::ddr_precharge(std::uint32_t bank, std::uint32_t rank) {
   charge_service(tile_->meter().costs().command_push);
-  program_.ddr(dram::Command::kPre, dram::DramAddress{bank, 0, 0});
-  set_pending_row(bank, std::nullopt);
+  program_.ddr(dram::Command::kPre, dram::DramAddress{bank, 0, 0, channel_, rank});
+  set_pending_row(bank, rank, std::nullopt);
 }
 
 void EasyApi::ddr_read(const dram::DramAddress& a, bool capture) {
@@ -126,17 +134,17 @@ void EasyApi::ddr_write(const dram::DramAddress& a,
   program_.ddr(dram::Command::kWrite, a, false, idx);
 }
 
-void EasyApi::ddr_refresh() {
+void EasyApi::ddr_refresh(std::uint32_t rank) {
   charge_service(tile_->meter().costs().command_push);
-  program_.ddr(dram::Command::kRef, dram::DramAddress{});
+  program_.ddr(dram::Command::kRef, dram::DramAddress{0, 0, 0, channel_, rank});
 }
 
 void EasyApi::ddr_exact(dram::Command cmd, const dram::DramAddress& a,
                         Picoseconds gap, bool capture) {
   charge_service(tile_->meter().costs().command_push);
   program_.ddr_exact(cmd, a, gap, capture);
-  if (cmd == dram::Command::kAct) set_pending_row(a.bank, a.row);
-  if (cmd == dram::Command::kPre) set_pending_row(a.bank, std::nullopt);
+  if (cmd == dram::Command::kAct) set_pending_row(a.bank, a.rank, a.row);
+  if (cmd == dram::Command::kPre) set_pending_row(a.bank, a.rank, std::nullopt);
 }
 
 void EasyApi::ddr_wait(Picoseconds duration) {
@@ -145,23 +153,23 @@ void EasyApi::ddr_wait(Picoseconds duration) {
 }
 
 void EasyApi::read_sequence(const dram::DramAddress& a) {
-  const auto open = effective_open_row(a.bank);
+  const auto open = effective_open_row(a.bank, a.rank);
   if (!open || *open != a.row) {
-    if (open) ddr_precharge(a.bank);
-    ddr_activate(a.bank, a.row);
+    if (open) ddr_precharge(a.bank, a.rank);
+    ddr_activate(a.bank, a.row, a.rank);
   }
   ddr_read(a, /*capture=*/true);
 }
 
 void EasyApi::read_sequence_reduced(const dram::DramAddress& a, Picoseconds trcd) {
-  const auto open = effective_open_row(a.bank);
+  const auto open = effective_open_row(a.bank, a.rank);
   if (open && *open == a.row) {
     // Row already open: tRCD does not apply; a plain read suffices.
     ddr_read(a, /*capture=*/true);
     return;
   }
-  if (open) ddr_precharge(a.bank);
-  ddr_activate(a.bank, a.row);
+  if (open) ddr_precharge(a.bank, a.rank);
+  ddr_activate(a.bank, a.row, a.rank);
   // The read issues exactly `trcd` after the ACT, violating the nominal
   // parameter on purpose.
   charge_service(tile_->meter().costs().command_push);
@@ -170,29 +178,31 @@ void EasyApi::read_sequence_reduced(const dram::DramAddress& a, Picoseconds trcd
 
 void EasyApi::write_sequence(const dram::DramAddress& a,
                              std::span<const std::uint8_t> data) {
-  const auto open = effective_open_row(a.bank);
+  const auto open = effective_open_row(a.bank, a.rank);
   if (!open || *open != a.row) {
-    if (open) ddr_precharge(a.bank);
-    ddr_activate(a.bank, a.row);
+    if (open) ddr_precharge(a.bank, a.rank);
+    ddr_activate(a.bank, a.row, a.rank);
   }
   ddr_write(a, data);
 }
 
 void EasyApi::rowclone(std::uint32_t bank, std::uint32_t src_row,
-                       std::uint32_t dst_row) {
-  close_row(bank);
+                       std::uint32_t dst_row, std::uint32_t rank) {
+  close_row(bank, rank);
   const Picoseconds two_tck = device_->timing().tCK * 2;
-  ddr_activate(bank, src_row);
+  ddr_activate(bank, src_row, rank);
   // Early precharge and immediate re-activation: the FPM RowClone pattern.
-  ddr_exact(dram::Command::kPre, dram::DramAddress{bank, 0, 0}, two_tck);
-  ddr_exact(dram::Command::kAct, dram::DramAddress{bank, dst_row, 0}, two_tck);
+  ddr_exact(dram::Command::kPre, dram::DramAddress{bank, 0, 0, channel_, rank},
+            two_tck);
+  ddr_exact(dram::Command::kAct,
+            dram::DramAddress{bank, dst_row, 0, channel_, rank}, two_tck);
   // Let the destination row fully restore, then close the bank.
   ddr_wait(device_->timing().tRAS);
-  ddr_precharge(bank);
+  ddr_precharge(bank, rank);
 }
 
-void EasyApi::close_row(std::uint32_t bank) {
-  if (effective_open_row(bank)) ddr_precharge(bank);
+void EasyApi::close_row(std::uint32_t bank, std::uint32_t rank) {
+  if (effective_open_row(bank, rank)) ddr_precharge(bank, rank);
 }
 
 bender::ExecutionResult EasyApi::flush_commands(bool charge) {
@@ -230,15 +240,15 @@ bender::ReadbackEntry EasyApi::rdback_cacheline() {
   return readback_[rdback_cursor_++];
 }
 
-void EasyApi::refresh_if_due() {
+void EasyApi::refresh_rank_if_due(std::uint32_t rank) {
   const dram::TimingParams& t = device_->timing();
   // Converge: charged refreshes advance the emulated timeline, which can
   // make one more refresh due; tRFC << tREFI guarantees termination.
   for (int guard = 0; guard < 1'000'000; ++guard) {
     const Picoseconds now = keeper_->emulated_now();
     const std::int64_t due = device_->refreshes_due(now);
-    if (device_->refreshes_issued() >= due) return;
-    const bool last = device_->refreshes_issued() + 1 == due;
+    if (device_->refreshes_issued(rank) >= due) return;
+    const bool last = device_->refreshes_issued(rank) + 1 == due;
     // Only a refresh whose tRFC window overlaps "now" can delay current
     // requests; earlier catch-up refreshes overlapped compute phases and
     // run in setup mode (uncharged).
@@ -247,14 +257,20 @@ void EasyApi::refresh_if_due() {
     const bool was_setup = setup_mode_;
     if (!in_flight) setup_mode_ = true;
     for (std::uint32_t bank = 0; bank < device_->geometry().num_banks(); ++bank) {
-      close_row(bank);
+      close_row(bank, rank);
     }
-    ddr_refresh();
+    ddr_refresh(rank);
     flush_commands(/*charge=*/in_flight);
     setup_mode_ = was_setup;
     ++stats_.refreshes_issued;
   }
   EASYDRAM_EXPECTS(!"refresh catch-up failed to converge");
+}
+
+void EasyApi::refresh_if_due() {
+  for (std::uint32_t rank = 0; rank < device_->num_ranks(); ++rank) {
+    refresh_rank_if_due(rank);
+  }
 }
 
 }  // namespace easydram::smc

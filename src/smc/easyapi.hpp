@@ -9,6 +9,7 @@
 #include "common/units.hpp"
 #include "dram/device.hpp"
 #include "smc/addr_map.hpp"
+#include "smc/bank_state.hpp"
 #include "tile/request.hpp"
 #include "tile/tile.hpp"
 #include "timescale/timekeeper.hpp"
@@ -35,10 +36,21 @@ struct ApiStats {
 /// registers, charging the programmable core's cycle costs for every
 /// operation so the No-Time-Scaling configuration faithfully suffers the
 /// software controller's slowness.
-class EasyApi {
+///
+/// One EasyApi instance fronts one memory *channel* (one device, one tile,
+/// one controller); multi-channel systems own one per channel. Bank-level
+/// operations take the bank index within a rank plus a trailing rank
+/// argument that defaults to 0, so single-rank controller code is unchanged.
+/// EasyApi implements BankStateView so scheduling policies can query open
+/// rows through a plain virtual call with no closure indirection.
+class EasyApi final : public BankStateView {
  public:
   EasyApi(tile::EasyTile& tile, dram::DramDevice& device,
-          const AddressMapper& mapper, timescale::TimeKeeper& keeper);
+          const AddressMapper& mapper, timescale::TimeKeeper& keeper,
+          std::uint32_t channel = 0);
+
+  /// Channel this instance fronts (tags the addresses it builds).
+  std::uint32_t channel() const { return channel_; }
 
   // --- Hardware abstraction library (Table 2, top) -------------------------
 
@@ -83,9 +95,16 @@ class EasyApi {
   void set_setup_mode(bool on) { setup_mode_ = on; }
   bool setup_mode() const { return setup_mode_; }
 
-  /// Row currently open in `bank`, accounting for commands already queued
-  /// in the (unflushed) batch.
-  std::optional<std::uint32_t> open_row(std::uint32_t bank) const;
+  /// Row currently open in `bank` of `rank`, accounting for commands
+  /// already queued in the (unflushed) batch.
+  std::optional<std::uint32_t> open_row(std::uint32_t bank,
+                                        std::uint32_t rank = 0) const;
+
+  /// BankStateView: the scheduler-facing open-row query (channel is
+  /// ignored — each channel's scheduler sees its own EasyApi).
+  std::optional<std::uint32_t> open_row(const dram::DramAddress& a) const override {
+    return open_row(a.bank, a.rank);
+  }
 
   // --- Address translation --------------------------------------------------
 
@@ -93,11 +112,11 @@ class EasyApi {
 
   // --- Command batch construction (Table 2: ddr_*) --------------------------
 
-  void ddr_activate(std::uint32_t bank, std::uint32_t row);
-  void ddr_precharge(std::uint32_t bank);
+  void ddr_activate(std::uint32_t bank, std::uint32_t row, std::uint32_t rank = 0);
+  void ddr_precharge(std::uint32_t bank, std::uint32_t rank = 0);
   void ddr_read(const dram::DramAddress& a, bool capture = true);
   void ddr_write(const dram::DramAddress& a, std::span<const std::uint8_t> data);
-  void ddr_refresh();
+  void ddr_refresh(std::uint32_t rank = 0);
   /// Technique escape hatch: issue exactly `gap` after the previous command.
   void ddr_exact(dram::Command cmd, const dram::DramAddress& a, Picoseconds gap,
                  bool capture = false);
@@ -117,11 +136,12 @@ class EasyApi {
   void write_sequence(const dram::DramAddress& a, std::span<const std::uint8_t> data);
 
   /// FPM RowClone (§7): ACT(src) -> early PRE -> early ACT(dst), then a
-  /// nominal precharge. Both rows must be in `bank`.
-  void rowclone(std::uint32_t bank, std::uint32_t src_row, std::uint32_t dst_row);
+  /// nominal precharge. Both rows must be in `bank` of `rank`.
+  void rowclone(std::uint32_t bank, std::uint32_t src_row, std::uint32_t dst_row,
+                std::uint32_t rank = 0);
 
-  /// Precharges `bank` if it has an open row.
-  void close_row(std::uint32_t bank);
+  /// Precharges `bank` of `rank` if it has an open row.
+  void close_row(std::uint32_t bank, std::uint32_t rank = 0);
 
   // --- Execution -------------------------------------------------------------
 
@@ -140,8 +160,8 @@ class EasyApi {
 
   // --- Maintenance -----------------------------------------------------------
 
-  /// Issues any refresh commands the emulated timeline owes (one per
-  /// tREFI). Catch-up refreshes that would have overlapped processor
+  /// Issues any refresh commands the emulated timeline owes (one per tREFI
+  /// per rank). Catch-up refreshes that would have overlapped processor
   /// compute phases keep DRAM state fresh without charging the timeline;
   /// a refresh still in flight "now" is charged, delaying the current
   /// request as in a real controller.
@@ -169,24 +189,34 @@ class EasyApi {
   /// Background work (polling, mode flips): programmable-core cycles only.
   void charge_background(std::int64_t core_cycles);
 
+  /// Catch-up/in-flight refresh convergence for one rank.
+  void refresh_rank_if_due(std::uint32_t rank);
+
+  std::uint32_t flat(std::uint32_t rank, std::uint32_t bank) const {
+    return device_->geometry().flat_bank(rank, bank);
+  }
+
   /// Effective open row seen by batch-building code: commands queued in the
   /// current batch override device state.
-  std::optional<std::uint32_t> effective_open_row(std::uint32_t bank) const;
-  void set_pending_row(std::uint32_t bank, std::optional<std::uint32_t> row);
+  std::optional<std::uint32_t> effective_open_row(std::uint32_t bank,
+                                                  std::uint32_t rank) const;
+  void set_pending_row(std::uint32_t bank, std::uint32_t rank,
+                       std::optional<std::uint32_t> row);
 
   tile::EasyTile* tile_;
   dram::DramDevice* device_;
   const AddressMapper* mapper_;
   timescale::TimeKeeper* keeper_;
+  std::uint32_t channel_ = 0;
 
   bender::Program program_;
   bender::Interpreter interpreter_;
   std::vector<bender::ReadbackEntry> readback_;
   std::size_t rdback_cursor_ = 0;
 
-  // bank -> row queued to be open at the end of the current batch; the
-  // wrapped optional distinguishes "no change" (outer nullopt) from
-  // "will be closed" (inner nullopt).
+  // flat (rank, bank) -> row queued to be open at the end of the current
+  // batch; the wrapped optional distinguishes "no change" (outer nullopt)
+  // from "will be closed" (inner nullopt).
   std::vector<std::optional<std::optional<std::uint32_t>>> pending_row_;
 
   bool setup_mode_ = false;

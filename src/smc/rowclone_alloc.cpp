@@ -71,7 +71,13 @@ bool RowClonePairTester::one_trial(std::uint32_t bank, std::uint32_t src_row,
 
 bool RowClonePairTester::test(std::uint32_t bank, std::uint32_t src_row,
                               std::uint32_t dst_row, RowCloneMap& map) {
-  if (const auto known = map.known(bank, src_row, dst_row)) return *known;
+  // The map's namespace is the system-wide bank index (the key the
+  // controller queries with), so verdicts recorded through a non-zero
+  // channel's api land on that channel's keys. The tester itself drives
+  // rank 0 of its api's channel.
+  const std::uint32_t sys_bank = api_->geometry().system_bank(
+      dram::DramAddress{bank, 0, 0, api_->channel(), 0});
+  if (const auto known = map.known(sys_bank, src_row, dst_row)) return *known;
   bool clonable = true;
   for (int t = 0; t < trials_; ++t) {
     ++trials_run_;
@@ -80,7 +86,7 @@ bool RowClonePairTester::test(std::uint32_t bank, std::uint32_t src_row,
       break;  // One failure disqualifies the pair.
     }
   }
-  map.record(bank, src_row, dst_row, clonable);
+  map.record(sys_bank, src_row, dst_row, clonable);
   return clonable;
 }
 

@@ -11,6 +11,10 @@ namespace easydram::smc {
 /// test. The controller consults it at request time; the allocator fills it
 /// during setup. Unknown pairs are treated as not clonable — the safe
 /// default that triggers the CPU fallback.
+///
+/// `bank` is a system-wide flat bank index (Geometry::system_bank) so one
+/// shared map serves every channel and rank; for the default 1x1 geometry
+/// it equals the plain per-rank bank index.
 class RowCloneMap {
  public:
   void record(std::uint32_t bank, std::uint32_t src_row, std::uint32_t dst_row,

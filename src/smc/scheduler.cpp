@@ -6,7 +6,7 @@ namespace easydram::smc {
 
 std::optional<std::size_t> FcfsScheduler::pick(const RequestTable& table,
                                                const BankStateView& /*banks*/,
-                                               std::size_t& scanned_entries) const {
+                                               std::size_t& scanned_entries) {
   scanned_entries = table.empty() ? 0 : 1;
   if (table.empty()) return std::nullopt;
   std::size_t best = 0;
@@ -23,6 +23,11 @@ namespace {
 /// the oldest such entry; kNoLimit disables the age cut.
 constexpr std::uint64_t kNoLimit = ~0ull;
 
+bool is_row_hit(const BankStateView& banks, const dram::DramAddress& a) {
+  const auto open = banks.open_row(a);
+  return open.has_value() && *open == a.row;
+}
+
 std::optional<std::size_t> frfcfs_pick_below(const RequestTable& table,
                                              const BankStateView& banks,
                                              std::uint64_t seq_limit) {
@@ -32,9 +37,7 @@ std::optional<std::size_t> frfcfs_pick_below(const RequestTable& table,
     const TableEntry& e = table.at(i);
     if (e.arrival_seq >= seq_limit) continue;
     if (!oldest || e.arrival_seq < table.at(*oldest).arrival_seq) oldest = i;
-    const auto open = banks.open_row(e.dram_addr.bank);
-    const bool row_hit = open.has_value() && *open == e.dram_addr.row;
-    if (row_hit &&
+    if (is_row_hit(banks, e.dram_addr) &&
         (!oldest_hit || e.arrival_seq < table.at(*oldest_hit).arrival_seq)) {
       oldest_hit = i;
     }
@@ -46,7 +49,7 @@ std::optional<std::size_t> frfcfs_pick_below(const RequestTable& table,
 
 std::optional<std::size_t> FrfcfsScheduler::pick(const RequestTable& table,
                                                  const BankStateView& banks,
-                                                 std::size_t& scanned_entries) const {
+                                                 std::size_t& scanned_entries) {
   scanned_entries = table.size();
   if (table.empty()) return std::nullopt;
 
@@ -55,9 +58,7 @@ std::optional<std::size_t> FrfcfsScheduler::pick(const RequestTable& table,
   for (std::size_t i = 0; i < table.size(); ++i) {
     const TableEntry& e = table.at(i);
     if (e.arrival_seq < table.at(oldest).arrival_seq) oldest = i;
-    const auto open = banks.open_row(e.dram_addr.bank);
-    const bool row_hit = open.has_value() && *open == e.dram_addr.row;
-    if (row_hit &&
+    if (is_row_hit(banks, e.dram_addr) &&
         (!oldest_hit || e.arrival_seq < table.at(*oldest_hit).arrival_seq)) {
       oldest_hit = i;
     }
@@ -71,7 +72,7 @@ BatchScheduler::BatchScheduler(std::size_t batch_size) : batch_size_(batch_size)
 
 std::optional<std::size_t> BatchScheduler::pick(const RequestTable& table,
                                                 const BankStateView& banks,
-                                                std::size_t& scanned_entries) const {
+                                                std::size_t& scanned_entries) {
   scanned_entries = table.size();
   if (table.empty()) return std::nullopt;
 
@@ -98,7 +99,7 @@ BlacklistScheduler::BlacklistScheduler(int streak_limit)
 
 std::optional<std::size_t> BlacklistScheduler::pick(const RequestTable& table,
                                                     const BankStateView& banks,
-                                                    std::size_t& scanned_entries) const {
+                                                    std::size_t& scanned_entries) {
   scanned_entries = table.size();
   if (table.empty()) return std::nullopt;
 
@@ -114,9 +115,7 @@ std::optional<std::size_t> BlacklistScheduler::pick(const RequestTable& table,
     choice = oldest;
   }
 
-  const TableEntry& e = table.at(*choice);
-  const std::uint64_t row_key =
-      (static_cast<std::uint64_t>(e.dram_addr.bank) << 32) | e.dram_addr.row;
+  const std::uint64_t row_key = dram::row_key(table.at(*choice).dram_addr);
   streak_ = row_key == last_row_key_ ? streak_ + 1 : 1;
   last_row_key_ = row_key;
   return choice;

@@ -1,40 +1,31 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string_view>
 
+#include "smc/bank_state.hpp"
 #include "smc/request_table.hpp"
 
 namespace easydram::smc {
-
-/// View of DRAM bank state a scheduling policy may consult.
-class BankStateView {
- public:
-  explicit BankStateView(std::function<std::optional<std::uint32_t>(std::uint32_t)>
-                             open_row_of_bank)
-      : open_row_(std::move(open_row_of_bank)) {}
-
-  std::optional<std::uint32_t> open_row(std::uint32_t bank) const {
-    return open_row_(bank);
-  }
-
- private:
-  std::function<std::optional<std::uint32_t>(std::uint32_t)> open_row_;
-};
 
 /// A memory-request scheduling policy (Table 2: FCFS::schedule,
 /// FRFCFS::schedule). Returns the table index to serve next, or nullopt for
 /// an empty table. `scanned_entries` reports how many table entries the
 /// policy examined so the cycle meter can charge a realistic software cost.
+///
+/// `pick` is non-const on purpose: stateful policies (PAR-BS batch
+/// boundaries, BLISS streaks) update their bookkeeping as part of the
+/// decision, exactly like their software-memory-controller implementations.
+/// Row-hit comparisons must key on the full (channel, rank, bank) bank
+/// coordinate — see dram::row_key.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
   virtual std::optional<std::size_t> pick(const RequestTable& table,
                                           const BankStateView& banks,
-                                          std::size_t& scanned_entries) const = 0;
+                                          std::size_t& scanned_entries) = 0;
   virtual std::string_view name() const = 0;
 };
 
@@ -42,7 +33,7 @@ class Scheduler {
 class FcfsScheduler final : public Scheduler {
  public:
   std::optional<std::size_t> pick(const RequestTable& table, const BankStateView& banks,
-                                  std::size_t& scanned_entries) const override;
+                                  std::size_t& scanned_entries) override;
   std::string_view name() const override { return "FCFS"; }
 };
 
@@ -51,7 +42,7 @@ class FcfsScheduler final : public Scheduler {
 class FrfcfsScheduler final : public Scheduler {
  public:
   std::optional<std::size_t> pick(const RequestTable& table, const BankStateView& banks,
-                                  std::size_t& scanned_entries) const override;
+                                  std::size_t& scanned_entries) override;
   std::string_view name() const override { return "FR-FCFS"; }
 };
 
@@ -64,12 +55,12 @@ class BatchScheduler final : public Scheduler {
   explicit BatchScheduler(std::size_t batch_size = 8);
 
   std::optional<std::size_t> pick(const RequestTable& table, const BankStateView& banks,
-                                  std::size_t& scanned_entries) const override;
+                                  std::size_t& scanned_entries) override;
   std::string_view name() const override { return "PAR-BS"; }
 
  private:
   std::size_t batch_size_;
-  mutable std::uint64_t batch_boundary_ = 0;  ///< First seq of the next batch.
+  std::uint64_t batch_boundary_ = 0;  ///< First seq of the next batch.
 };
 
 /// BLISS-style blacklisting scheduler (Subramanian et al., ICCD'14,
@@ -83,13 +74,13 @@ class BlacklistScheduler final : public Scheduler {
   explicit BlacklistScheduler(int streak_limit = 4);
 
   std::optional<std::size_t> pick(const RequestTable& table, const BankStateView& banks,
-                                  std::size_t& scanned_entries) const override;
+                                  std::size_t& scanned_entries) override;
   std::string_view name() const override { return "BLISS"; }
 
  private:
   int streak_limit_;
-  mutable int streak_ = 0;
-  mutable std::uint64_t last_row_key_ = ~0ull;
+  int streak_ = 0;
+  std::uint64_t last_row_key_ = ~0ull;
 };
 
 }  // namespace easydram::smc

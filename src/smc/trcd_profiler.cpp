@@ -26,18 +26,21 @@ TrcdProfiler::TrcdProfiler(EasyApi& api, std::vector<Picoseconds> test_values)
 }
 
 void TrcdProfiler::init_row_pattern(std::uint32_t bank, std::uint32_t row,
-                                    std::span<const std::uint32_t> cols) {
-  api_->close_row(bank);
+                                    std::span<const std::uint32_t> cols,
+                                    std::uint32_t rank) {
+  api_->close_row(bank, rank);
   for (const std::uint32_t col : cols) {
-    api_->write_sequence(dram::DramAddress{bank, row, col},
-                         line_pattern(bank, row, col));
+    api_->write_sequence(
+        dram::DramAddress{bank, row, col, api_->channel(), rank},
+        line_pattern(bank, row, col));
   }
-  api_->close_row(bank);
+  api_->close_row(bank, rank);
   api_->flush_commands(/*charge=*/false);
 }
 
 bool TrcdProfiler::row_reliable_at(std::uint32_t bank, std::uint32_t row,
-                                   Picoseconds trcd, std::uint32_t lines_to_test) {
+                                   Picoseconds trcd, std::uint32_t lines_to_test,
+                                   std::uint32_t rank) {
   // Characterization is an offline setup phase (§8.1): no timeline charges.
   const bool was_setup = api_->setup_mode();
   api_->set_setup_mode(true);
@@ -59,13 +62,14 @@ bool TrcdProfiler::row_reliable_at(std::uint32_t bank, std::uint32_t row,
   }
 
   // Step 1: initialize sampled lines with known patterns.
-  init_row_pattern(bank, row, cols);
+  init_row_pattern(bank, row, cols, rank);
 
   // Step 2: access each line with the reduced tRCD. Every test needs its
   // own activation — tRCD only applies to the first access after ACT.
   for (const std::uint32_t col : cols) {
-    api_->read_sequence_reduced(dram::DramAddress{bank, row, col}, trcd);
-    api_->close_row(bank);
+    api_->read_sequence_reduced(
+        dram::DramAddress{bank, row, col, api_->channel(), rank}, trcd);
+    api_->close_row(bank, rank);
   }
   api_->flush_commands(/*charge=*/false);
 
@@ -83,10 +87,11 @@ bool TrcdProfiler::row_reliable_at(std::uint32_t bank, std::uint32_t row,
 }
 
 RowProfile TrcdProfiler::profile_row(std::uint32_t bank, std::uint32_t row,
-                                     std::uint32_t lines_to_test) {
+                                     std::uint32_t lines_to_test,
+                                     std::uint32_t rank) {
   RowProfile result{bank, row, test_values_.front()};
   for (const Picoseconds v : test_values_) {
-    if (!row_reliable_at(bank, row, v, lines_to_test)) break;
+    if (!row_reliable_at(bank, row, v, lines_to_test, rank)) break;
     result.min_reliable = v;
   }
   return result;
@@ -100,12 +105,20 @@ BloomFilter build_weak_row_filter(EasyApi& api, std::span<const std::uint32_t> b
   BloomFilter filter(filter_bits, hashes);
   TrcdProfiler profiler(api, {threshold});
   WeakRowFilterStats local{};
-  for (const std::uint32_t bank : banks) {
-    for (std::uint32_t row = 0; row < rows_per_bank; ++row) {
-      ++local.rows_profiled;
-      if (!profiler.row_reliable_at(bank, row, threshold, lines_per_row)) {
-        ++local.weak_rows;
-        filter.insert((static_cast<std::uint64_t>(bank) << 32) | row);
+  // Every rank of the channel is profiled: the controller keys lookups by
+  // the full (channel, rank, bank, row), so an unprofiled rank would read
+  // as uniformly strong and be silently corrupted by reduced-tRCD opens.
+  const std::uint32_t ranks = api.geometry().ranks_per_channel;
+  for (std::uint32_t rank = 0; rank < ranks; ++rank) {
+    for (const std::uint32_t bank : banks) {
+      for (std::uint32_t row = 0; row < rows_per_bank; ++row) {
+        ++local.rows_profiled;
+        if (!profiler.row_reliable_at(bank, row, threshold, lines_per_row,
+                                      rank)) {
+          ++local.weak_rows;
+          filter.insert(dram::row_key(
+              dram::DramAddress{bank, row, 0, api.channel(), rank}));
+        }
       }
     }
   }

@@ -30,21 +30,22 @@ class TrcdProfiler {
   TrcdProfiler(EasyApi& api, std::vector<Picoseconds> test_values);
 
   /// True iff all examined lines of the row read correctly at `trcd`.
-  /// `lines_to_test` == 0 tests every cache line of the row.
+  /// `lines_to_test` == 0 tests every cache line of the row. `rank`
+  /// selects the rank within the api's channel.
   bool row_reliable_at(std::uint32_t bank, std::uint32_t row, Picoseconds trcd,
-                       std::uint32_t lines_to_test = 0);
+                       std::uint32_t lines_to_test = 0, std::uint32_t rank = 0);
 
   /// Sweeps the test values and returns the row's minimum reliable value
   /// (the most conservative value when even that fails, which the modelled
   /// chip — like the paper's — never produces below nominal).
   RowProfile profile_row(std::uint32_t bank, std::uint32_t row,
-                         std::uint32_t lines_to_test = 0);
+                         std::uint32_t lines_to_test = 0, std::uint32_t rank = 0);
 
   std::int64_t lines_tested() const { return lines_tested_; }
 
  private:
   void init_row_pattern(std::uint32_t bank, std::uint32_t row,
-                        std::span<const std::uint32_t> cols);
+                        std::span<const std::uint32_t> cols, std::uint32_t rank);
 
   EasyApi* api_;
   std::vector<Picoseconds> test_values_;
@@ -58,9 +59,12 @@ struct WeakRowFilterStats {
   double weak_fraction = 0.0;
 };
 
-/// Profiles `rows_per_bank` rows of each listed bank at `threshold` and
-/// builds the RAIDR-style Bloom filter of weak rows (§8.2). The key of row
-/// r in bank b is (b << 32) | r, matching MemoryController::trcd_for.
+/// Profiles `rows_per_bank` rows of each listed bank — on *every* rank of
+/// the api's channel, so no rank is opened with a reduced tRCD unprofiled —
+/// at `threshold` and builds the RAIDR-style Bloom filter of weak rows
+/// (§8.2). Keys are dram::row_key values, matching
+/// MemoryController::trcd_for; for the default 1x1 geometry this is the
+/// historical (b << 32) | r encoding.
 BloomFilter build_weak_row_filter(EasyApi& api, std::span<const std::uint32_t> banks,
                                   std::uint32_t rows_per_bank, Picoseconds threshold,
                                   std::size_t filter_bits, std::size_t hashes,

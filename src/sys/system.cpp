@@ -39,110 +39,217 @@ SystemConfig validation_reference() {
   return cfg;
 }
 
-EasyDramSystem::EasyDramSystem(const SystemConfig& cfg)
-    : cfg_(cfg),
-      device_(cfg.geometry, cfg.timing, cfg.variation),
-      tile_(cfg.tile),
-      mapper_(cfg.line_interleaved_mapping
-                  ? static_cast<std::unique_ptr<smc::AddressMapper>>(
-                        std::make_unique<smc::LineInterleavedMapper>(cfg.geometry))
-                  : std::make_unique<smc::LinearMapper>(cfg.geometry)),
-      keeper_(cfg.mode, cfg.proc_domain, cfg.tile.core_clock,
-              cfg.mc_sched_latency_cycles, cfg.hardware_mc),
-      api_(tile_, device_, *mapper_, keeper_) {
-  EASYDRAM_EXPECTS(cfg.core.emulated_clock == cfg.proc_domain.emulated_clock);
-  rebuild_controller();
+namespace {
+
+/// Per-channel chip seed: channel 0 keeps the configured seed (so the 1x1
+/// default reproduces the original synthetic chip bit for bit); further
+/// channels model physically distinct modules.
+dram::VariationConfig channel_variation(const SystemConfig& cfg,
+                                        std::uint32_t channel) {
+  dram::VariationConfig v = cfg.variation;
+  if (channel != 0) v.seed = hash_mix(v.seed, channel);
+  return v;
 }
 
-void EasyDramSystem::rebuild_controller() {
-  EASYDRAM_EXPECTS(!controller_ || controller_->idle());
-  smc::ControllerOptions options;
-  if (cfg_.scheduler_factory) {
-    options.scheduler = cfg_.scheduler_factory();
-    EASYDRAM_EXPECTS(options.scheduler != nullptr);
-  } else if (cfg_.use_frfcfs) {
-    options.scheduler = std::make_unique<smc::FrfcfsScheduler>();
-  } else {
-    options.scheduler = std::make_unique<smc::FcfsScheduler>();
+}  // namespace
+
+EasyDramSystem::ChannelSlice::ChannelSlice(const SystemConfig& cfg,
+                                           const smc::AddressMapper& mapper,
+                                           std::uint32_t channel)
+    : device(cfg.geometry, cfg.timing, channel_variation(cfg, channel)),
+      tile(cfg.tile),
+      keeper(cfg.mode, cfg.proc_domain, cfg.tile.core_clock,
+             cfg.mc_sched_latency_cycles, cfg.hardware_mc),
+      api(tile, device, mapper, keeper, channel) {}
+
+EasyDramSystem::EasyDramSystem(const SystemConfig& cfg)
+    : cfg_(cfg), mapper_(smc::make_mapper(cfg.mapping, cfg.geometry)) {
+  EASYDRAM_EXPECTS(cfg.core.emulated_clock == cfg.proc_domain.emulated_clock);
+  EASYDRAM_EXPECTS(cfg.geometry.channels >= 1);
+  EASYDRAM_EXPECTS(cfg.geometry.ranks_per_channel >= 1);
+  channels_.reserve(cfg.geometry.channels);
+  for (std::uint32_t ch = 0; ch < cfg.geometry.channels; ++ch) {
+    channels_.push_back(std::make_unique<ChannelSlice>(cfg_, *mapper_, ch));
   }
-  options.reduced_trcd = cfg_.reduced_trcd;
-  options.row_batch_limit = cfg_.row_batch_limit;
-  options.weak_rows = weak_rows_ ? &*weak_rows_ : nullptr;
-  options.clonable = rowclone_enabled_ ? &clone_map_ : nullptr;
-  controller_ = std::make_unique<smc::MemoryController>(std::move(options));
+  rebuild_controllers();
+}
+
+smc::EasyApi& EasyDramSystem::api(std::uint32_t channel) {
+  EASYDRAM_EXPECTS(channel < channels_.size());
+  return channels_[channel]->api;
+}
+
+dram::DramDevice& EasyDramSystem::device(std::uint32_t channel) {
+  EASYDRAM_EXPECTS(channel < channels_.size());
+  return channels_[channel]->device;
+}
+
+const timescale::TimeKeeper& EasyDramSystem::keeper(std::uint32_t channel) const {
+  EASYDRAM_EXPECTS(channel < channels_.size());
+  return channels_[channel]->keeper;
+}
+
+Picoseconds EasyDramSystem::wall() const {
+  Picoseconds w{};
+  for (const auto& ch : channels_) w = std::max(w, ch->keeper.wall());
+  return w;
+}
+
+smc::ApiStats EasyDramSystem::smc_stats() const {
+  smc::ApiStats total;
+  for (const auto& ch : channels_) {
+    const smc::ApiStats& s = ch->api.stats();
+    total.requests_received += s.requests_received;
+    total.responses_sent += s.responses_sent;
+    total.batches_executed += s.batches_executed;
+    total.commands_executed += s.commands_executed;
+    total.rowclone_attempts += s.rowclone_attempts;
+    total.rowclone_successes += s.rowclone_successes;
+    total.refreshes_issued += s.refreshes_issued;
+    total.violations_seen |= s.violations_seen;
+    total.dram_busy += s.dram_busy;
+  }
+  return total;
+}
+
+void EasyDramSystem::rebuild_controllers() {
+  for (auto& ch : channels_) {
+    EASYDRAM_EXPECTS(!ch->controller || ch->controller->idle());
+    smc::ControllerOptions options;
+    if (cfg_.scheduler_factory) {
+      options.scheduler = cfg_.scheduler_factory();
+      EASYDRAM_EXPECTS(options.scheduler != nullptr);
+    } else if (cfg_.use_frfcfs) {
+      options.scheduler = std::make_unique<smc::FrfcfsScheduler>();
+    } else {
+      options.scheduler = std::make_unique<smc::FcfsScheduler>();
+    }
+    options.reduced_trcd = cfg_.reduced_trcd;
+    options.row_batch_limit = cfg_.row_batch_limit;
+    options.weak_rows = weak_rows_ ? &*weak_rows_ : nullptr;
+    options.clonable = rowclone_enabled_ ? &clone_map_ : nullptr;
+    ch->controller = std::make_unique<smc::MemoryController>(std::move(options));
+  }
 }
 
 void EasyDramSystem::enable_rowclone() {
   rowclone_enabled_ = true;
-  rebuild_controller();
+  rebuild_controllers();
 }
 
 void EasyDramSystem::install_weak_row_filter(smc::BloomFilter filter) {
   weak_rows_ = std::move(filter);
-  rebuild_controller();
+  rebuild_controllers();
+}
+
+smc::WeakRowFilterStats EasyDramSystem::characterize_and_install_weak_rows(
+    std::span<const std::uint32_t> banks, std::uint32_t rows_per_bank,
+    Picoseconds threshold, std::size_t filter_bits, std::size_t hashes,
+    std::uint32_t lines_per_row) {
+  smc::WeakRowFilterStats total{};
+  std::optional<smc::BloomFilter> merged;
+  for (auto& ch : channels_) {
+    smc::WeakRowFilterStats s{};
+    smc::BloomFilter f = smc::build_weak_row_filter(
+        ch->api, banks, rows_per_bank, threshold, filter_bits, hashes, &s,
+        lines_per_row);
+    total.rows_profiled += s.rows_profiled;
+    total.weak_rows += s.weak_rows;
+    if (!merged) {
+      merged = std::move(f);
+    } else {
+      merged->merge(f);
+    }
+  }
+  total.weak_fraction = total.rows_profiled == 0
+                            ? 0.0
+                            : static_cast<double>(total.weak_rows) /
+                                  static_cast<double>(total.rows_profiled);
+  install_weak_row_filter(std::move(*merged));
+  return total;
 }
 
 void EasyDramSystem::account_cpu_progress(std::int64_t now) {
   if (now <= last_cpu_cycle_) return;
-  if (cfg_.mode == timescale::SystemMode::kNoTimeScaling) {
-    // Without time scaling the processor's cycle count *is* the wall clock
-    // at its FPGA frequency: stall cycles already elapsed as SMC/DRAM wall
-    // time, so the wall is synchronized, never double-charged.
-    keeper_.advance_wall_to(cfg_.proc_domain.fpga_clock.cycles_to_ps(now));
-  } else {
-    // Under time scaling every emulated cycle — including the replayed
-    // stall windows of Fig. 5(e) — executes on the processor's FPGA clock.
-    keeper_.account_proc_cycles(now - last_cpu_cycle_);
+  for (auto& ch : channels_) {
+    if (cfg_.mode == timescale::SystemMode::kNoTimeScaling) {
+      // Without time scaling the processor's cycle count *is* the wall clock
+      // at its FPGA frequency: stall cycles already elapsed as SMC/DRAM wall
+      // time, so the wall is synchronized, never double-charged.
+      ch->keeper.advance_wall_to(cfg_.proc_domain.fpga_clock.cycles_to_ps(now));
+    } else {
+      // Under time scaling every emulated cycle — including the replayed
+      // stall windows of Fig. 5(e) — executes on the processor's FPGA clock.
+      ch->keeper.account_proc_cycles(now - last_cpu_cycle_);
+    }
   }
   last_cpu_cycle_ = now;
 }
 
 void EasyDramSystem::drain_outgoing() {
-  auto& fifo = tile_.outgoing();
-  while (!fifo.empty()) {
-    tile::Response resp = fifo.pop();
-    completed_.emplace(resp.id, std::move(resp));
+  for (auto& ch : channels_) {
+    auto& fifo = ch->tile.outgoing();
+    while (!fifo.empty()) {
+      tile::Response resp = fifo.pop();
+      completed_.emplace(resp.id, std::move(resp));
+    }
   }
 }
 
 bool EasyDramSystem::pump_once() {
-  const bool worked = controller_->step(api_);
-  keeper_.account_smc_cycles(tile_.meter().take());
-  drain_outgoing();
-  if (!worked) {
-    // Only future-tagged requests remain: let the emulation point skip the
-    // idle gap so the head request becomes visible.
-    if (!tile_.incoming().empty()) {
-      keeper_.skip_idle_until_proc_cycle(tile_.incoming().front().issue_proc_cycle);
+  bool any_worked = false;
+  for (auto& ch : channels_) {
+    const bool worked = ch->controller->step(ch->api);
+    ch->keeper.account_smc_cycles(ch->tile.meter().take());
+    if (!worked) {
+      // Only future-tagged requests remain on this channel: let its
+      // emulation point skip the idle gap so the head request becomes
+      // visible.
+      if (!ch->tile.incoming().empty()) {
+        ch->keeper.skip_idle_until_proc_cycle(
+            ch->tile.incoming().front().issue_proc_cycle);
+      }
     }
+    any_worked = any_worked || worked;
   }
-  return worked;
+  drain_outgoing();
+  return any_worked;
 }
 
-void EasyDramSystem::pump_until_fifo_has_room() {
+void EasyDramSystem::pump_until_fifo_has_room(std::uint32_t channel) {
   int guard = 0;
-  while (tile_.incoming().full()) {
+  while (channels_[channel]->tile.incoming().full()) {
     pump_once();
     EASYDRAM_EXPECTS(++guard < 1'000'000);
   }
 }
 
-std::uint64_t EasyDramSystem::submit(tile::Request req, std::int64_t now) {
+std::uint64_t EasyDramSystem::submit(tile::Request req, std::uint32_t channel,
+                                     std::int64_t now) {
   account_cpu_progress(now);
-  pump_until_fifo_has_room();
+  pump_until_fifo_has_room(channel);
+  ChannelSlice& ch = *channels_[channel];
   req.id = next_id_++;
   req.issue_proc_cycle = now;
-  req.arrival_wall = keeper_.wall();
+  req.arrival_wall = ch.keeper.wall();
   const std::uint64_t id = req.id;
-  tile_.incoming().push(std::move(req));
+  ch.tile.incoming().push(std::move(req));
   return id;
+}
+
+std::uint32_t EasyDramSystem::channel_of(std::uint64_t paddr) const {
+  // Channel routing is a hardware address decode, not controller software:
+  // it costs nothing on any timeline (and nothing on the host with one
+  // channel).
+  if (channels_.size() == 1) return 0;
+  return mapper_->to_dram(paddr).channel;
 }
 
 std::uint64_t EasyDramSystem::submit_read(std::uint64_t paddr, std::int64_t now) {
   tile::Request req;
   req.kind = tile::RequestKind::kRead;
   req.paddr = paddr;
-  return submit(std::move(req), now);
+  return submit(std::move(req), channel_of(paddr), now);
 }
 
 std::uint64_t EasyDramSystem::submit_write(std::uint64_t paddr, std::int64_t now) {
@@ -153,7 +260,7 @@ std::uint64_t EasyDramSystem::submit_write(std::uint64_t paddr, std::int64_t now
   // DRAM contents evolve benignly.
   SplitMix64 sm(paddr ^ 0xD47A);
   for (auto& b : req.wdata) b = static_cast<std::uint8_t>(sm.next());
-  return submit(std::move(req), now);
+  return submit(std::move(req), channel_of(paddr), now);
 }
 
 std::uint64_t EasyDramSystem::submit_rowclone(std::uint64_t src_paddr,
@@ -163,7 +270,9 @@ std::uint64_t EasyDramSystem::submit_rowclone(std::uint64_t src_paddr,
   req.kind = tile::RequestKind::kRowClone;
   req.paddr = src_paddr;
   req.paddr2 = dst_paddr;
-  return submit(std::move(req), now);
+  // Routed by the source row's channel; a cross-channel pair is rejected by
+  // the controller's same-bank check and falls back to CPU copy.
+  return submit(std::move(req), channel_of(src_paddr), now);
 }
 
 std::uint64_t EasyDramSystem::submit_profile(std::uint64_t paddr, Picoseconds trcd,
@@ -172,7 +281,7 @@ std::uint64_t EasyDramSystem::submit_profile(std::uint64_t paddr, Picoseconds tr
   req.kind = tile::RequestKind::kProfileTrcd;
   req.paddr = paddr;
   req.profile_trcd = trcd;
-  return submit(std::move(req), now);
+  return submit(std::move(req), channel_of(paddr), now);
 }
 
 cpu::Completion EasyDramSystem::wait(std::uint64_t id) {
@@ -187,6 +296,13 @@ cpu::Completion EasyDramSystem::wait(std::uint64_t id) {
   return c;
 }
 
+bool EasyDramSystem::all_idle() const {
+  for (const auto& ch : channels_) {
+    if (!ch->tile.incoming().empty() || !ch->controller->idle()) return false;
+  }
+  return true;
+}
+
 cpu::RunResult EasyDramSystem::run(cpu::TraceSource& trace) {
   cpu::Core core(cfg_.core, cfg_.caches);
   cpu::RunResult result = core.run(trace, *this);
@@ -195,13 +311,19 @@ cpu::RunResult EasyDramSystem::run(cpu::TraceSource& trace) {
   // the core's final cycle count.
   account_cpu_progress(result.cycles);
   int guard = 0;
-  while (!tile_.incoming().empty() || !controller_->idle()) {
+  while (!all_idle()) {
     pump_once();
     EASYDRAM_EXPECTS(++guard < 100'000'000);
   }
-  // Let the controller observe its empty table and leave critical mode,
+  // Let every controller observe its empty table and leave critical mode,
   // resynchronising the time-scaling counters (Fig. 5(f)).
-  while (keeper_.counters().critical()) {
+  const auto any_critical = [this] {
+    for (const auto& ch : channels_) {
+      if (ch->keeper.counters().critical()) return true;
+    }
+    return false;
+  };
+  while (any_critical()) {
     pump_once();
     EASYDRAM_EXPECTS(++guard < 100'000'000);
   }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "cpu/backend.hpp"
 #include "cpu/core.hpp"
@@ -14,6 +15,7 @@
 #include "smc/controller.hpp"
 #include "smc/easyapi.hpp"
 #include "smc/rowclone_map.hpp"
+#include "smc/trcd_profiler.hpp"
 #include "tile/tile.hpp"
 #include "timescale/timekeeper.hpp"
 
@@ -21,8 +23,10 @@ namespace easydram::sys {
 
 /// Full-system configuration. The defaults model the paper's baseline: an
 /// A57-like processor (Jetson Nano target) time-scaled from a 100 MHz FPGA
-/// clock, EasyTile with a 100 MHz programmable core, and a single rank of
-/// DDR4-1333.
+/// clock, EasyTile with a 100 MHz programmable core, and a single channel,
+/// single rank of DDR4-1333. Raise `geometry.channels` /
+/// `geometry.ranks_per_channel` and pick a `mapping` to study
+/// channel/rank-level parallelism.
 struct SystemConfig {
   timescale::SystemMode mode = timescale::SystemMode::kTimeScaling;
   timescale::DomainConfig proc_domain{Frequency::megahertz(100),
@@ -48,13 +52,17 @@ struct SystemConfig {
 
   tile::TileConfig tile{};
   bool use_frfcfs = true;
-  bool line_interleaved_mapping = false;
+  /// Physical-to-DRAM address mapping (see smc::MappingKind): row-linear by
+  /// default; line-interleaved stripes lines across banks;
+  /// channel-interleaved stripes lines across channels.
+  smc::MappingKind mapping = smc::MappingKind::kLinear;
   Picoseconds reduced_trcd{9000};
   /// Row-hit drain limit of the stock controller (see ControllerOptions).
   std::size_t row_batch_limit = 16;
 
   /// Optional custom scheduling policy. When set it overrides `use_frfcfs`;
-  /// called once per controller build (see examples/custom_scheduler.cpp).
+  /// called once per controller build — i.e. once per channel (see
+  /// examples/custom_scheduler.cpp).
   std::function<std::unique_ptr<smc::Scheduler>()> scheduler_factory;
 };
 
@@ -65,8 +73,17 @@ SystemConfig validation_time_scaling();  ///< §6: 100 MHz scaled to 1 GHz.
 SystemConfig validation_reference();     ///< §6: direct 1 GHz RTL reference.
 
 /// The assembled EasyDRAM system (Fig. 7): processor model ⇄ memory bus ⇄
-/// EasyTile (programmable core running a software memory controller, DRAM
-/// Bender) ⇄ DRAM device, glued by the time-scaling machinery.
+/// per-channel EasyTiles (each with a programmable core running its own
+/// software memory controller and DRAM Bender engine) ⇄ per-channel DRAM
+/// devices, glued by the time-scaling machinery.
+///
+/// Each channel is an independent slice — device, tile, controller, and its
+/// own TimeKeeper — because real channels have independent buses and their
+/// memory activity overlaps in time. Processor progress is mirrored into
+/// every channel's keeper; the system wall clock is the maximum over
+/// channels (the slowest channel finishes last). Requests are routed to
+/// their channel by the address mapper's channel bits. With one channel
+/// this collapses to a single keeper driven exactly as before.
 ///
 /// Implements cpu::MemoryBackend so any core model / trace can run on it.
 /// One instance models one power-on: construct, (optionally) run setup
@@ -78,19 +95,45 @@ class EasyDramSystem final : public cpu::MemoryBackend {
 
   // --- Setup-phase access ---------------------------------------------------
 
-  smc::EasyApi& api() { return api_; }
-  dram::DramDevice& device() { return device_; }
+  std::uint32_t num_channels() const {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
+
+  /// Channel 0's interfaces (the whole system for the default geometry).
+  smc::EasyApi& api() { return api(0); }
+  dram::DramDevice& device() { return device(0); }
+
+  smc::EasyApi& api(std::uint32_t channel);
+  dram::DramDevice& device(std::uint32_t channel);
+
   smc::RowCloneMap& clone_map() { return clone_map_; }
   const SystemConfig& config() const { return cfg_; }
-  const timescale::TimeKeeper& keeper() const { return keeper_; }
+  const smc::AddressMapper& mapper() const { return *mapper_; }
+  /// Channel 0's timeline (identical to every other channel's until
+  /// channel-local memory activity diverges).
+  const timescale::TimeKeeper& keeper() const { return keeper(0); }
+  const timescale::TimeKeeper& keeper(std::uint32_t channel) const;
 
   /// Enables the RowClone request path: kRowClone requests whose pair is
   /// verified in clone_map() run in DRAM, others get fallback responses.
   void enable_rowclone();
 
   /// Installs the weak-row Bloom filter, turning on reduced-tRCD accesses
-  /// for rows not flagged weak.
+  /// for rows not flagged weak. Every channel's controller consults this
+  /// one filter, so it must cover every channel's weak rows — on
+  /// multi-channel systems build it with
+  /// characterize_and_install_weak_rows() rather than a single channel's
+  /// smc::build_weak_row_filter.
   void install_weak_row_filter(smc::BloomFilter filter);
+
+  /// Profiles every channel (all ranks) at `threshold`, merges the
+  /// per-channel weak-row filters, installs the union, and returns the
+  /// aggregate characterization statistics. On a single-channel system
+  /// this is exactly smc::build_weak_row_filter + install_weak_row_filter.
+  smc::WeakRowFilterStats characterize_and_install_weak_rows(
+      std::span<const std::uint32_t> banks, std::uint32_t rows_per_bank,
+      Picoseconds threshold, std::size_t filter_bits, std::size_t hashes,
+      std::uint32_t lines_per_row = 0);
 
   // --- cpu::MemoryBackend ---------------------------------------------------
 
@@ -110,30 +153,45 @@ class EasyDramSystem final : public cpu::MemoryBackend {
 
   // --- Results ----------------------------------------------------------------
 
-  /// FPGA wall time consumed so far (drives the Fig. 14 simulation-speed
-  /// study and the No-Time-Scaling timeline).
-  Picoseconds wall() const { return keeper_.wall(); }
-  const smc::ApiStats& smc_stats() const { return api_.stats(); }
+  /// FPGA wall time consumed so far: the maximum over the per-channel
+  /// timelines (drives the Fig. 14 simulation-speed study and the
+  /// No-Time-Scaling timeline).
+  Picoseconds wall() const;
+  /// Aggregate SMC statistics summed over every channel's EasyApi.
+  smc::ApiStats smc_stats() const;
 
  private:
-  std::uint64_t submit(tile::Request req, std::int64_t now);
-  /// Runs SMC iterations until the FIFO has room.
-  void pump_until_fifo_has_room();
+  /// One memory channel: device + tile + timeline + API + controller.
+  struct ChannelSlice {
+    ChannelSlice(const SystemConfig& cfg, const smc::AddressMapper& mapper,
+                 std::uint32_t channel);
+
+    dram::DramDevice device;
+    tile::EasyTile tile;
+    timescale::TimeKeeper keeper;
+    smc::EasyApi api;
+    std::unique_ptr<smc::Controller> controller;
+  };
+
+  std::uint64_t submit(tile::Request req, std::uint32_t channel, std::int64_t now);
+  /// Channel the line at `paddr` decodes to; skips the mapper entirely on
+  /// single-channel systems (the per-request submit hot path).
+  std::uint32_t channel_of(std::uint64_t paddr) const;
+  /// Runs SMC iterations until `channel`'s FIFO has room.
+  void pump_until_fifo_has_room(std::uint32_t channel);
+  /// One main-loop iteration of every channel's controller (round-robin).
   bool pump_once();
   void drain_outgoing();
   void account_cpu_progress(std::int64_t now);
-  void rebuild_controller();
+  void rebuild_controllers();
+  bool all_idle() const;
 
   SystemConfig cfg_;
-  dram::DramDevice device_;
-  tile::EasyTile tile_;
   std::unique_ptr<smc::AddressMapper> mapper_;
-  timescale::TimeKeeper keeper_;
-  smc::EasyApi api_;
+  std::vector<std::unique_ptr<ChannelSlice>> channels_;
   smc::RowCloneMap clone_map_;
   std::optional<smc::BloomFilter> weak_rows_;
   bool rowclone_enabled_ = false;
-  std::unique_ptr<smc::Controller> controller_;
 
   std::uint64_t next_id_ = 1;
   std::int64_t last_cpu_cycle_ = 0;

@@ -5,6 +5,7 @@
 
 #include "bender/interpreter.hpp"
 #include "common/rng.hpp"
+#include "smc/addr_map.hpp"
 #include "sys/system.hpp"
 #include "workloads/builder.hpp"
 
@@ -127,6 +128,68 @@ TEST(BenderGoldenModel, RegisterLoopWritesMatchDirectIssue) {
     EXPECT_EQ(std::memcmp(out.data(), data.data(), 64), 0) << "row " << row;
   }
 }
+
+// --------------------------------------------------------------------------
+// Address-mapper invertibility across geometries
+// --------------------------------------------------------------------------
+
+/// Geometries the mapper property sweep covers: the paper default, a wide
+/// multi-channel/multi-rank system, a non-default bank count, and a
+/// non-power-of-two channel count (div/mod layouts must not assume powers
+/// of two).
+std::vector<dram::Geometry> mapper_geometries() {
+  dram::Geometry def;
+  dram::Geometry wide;
+  wide.channels = 4;
+  wide.ranks_per_channel = 2;
+  dram::Geometry small_banks;
+  small_banks.channels = 2;
+  small_banks.ranks_per_channel = 2;
+  small_banks.bank_groups = 2;
+  small_banks.banks_per_group = 4;
+  small_banks.rows_per_bank = 4096;
+  dram::Geometry odd;
+  odd.channels = 3;
+  odd.ranks_per_channel = 2;
+  return {def, wide, small_banks, odd};
+}
+
+class MapperInvertibility
+    : public ::testing::TestWithParam<smc::MappingKind> {};
+
+TEST_P(MapperInvertibility, RoundTripsRandomAddresses) {
+  for (const dram::Geometry& geo : mapper_geometries()) {
+    const auto mapper = smc::make_mapper(GetParam(), geo);
+    Xoshiro256ss rng(0x9A99E5 ^ static_cast<std::uint64_t>(GetParam()));
+    const std::uint64_t lines = geo.capacity_bytes() / geo.col_bytes;
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t paddr = rng.next_below(lines) * geo.col_bytes;
+      const dram::DramAddress a = mapper->to_dram(paddr);
+      EXPECT_TRUE(geo.contains(a))
+          << mapper->name() << " paddr " << paddr << " -> channel " << a.channel
+          << " rank " << a.rank << " bank " << a.bank;
+      EXPECT_EQ(mapper->to_physical(a), paddr) << mapper->name();
+    }
+    // And the inverse direction: random coordinates survive the round trip,
+    // which (with the forward check) pins the mapping as a bijection.
+    for (int i = 0; i < 500; ++i) {
+      dram::DramAddress a;
+      a.channel = static_cast<std::uint32_t>(rng.next_below(geo.channels));
+      a.rank = static_cast<std::uint32_t>(rng.next_below(geo.ranks_per_channel));
+      a.bank = static_cast<std::uint32_t>(rng.next_below(geo.num_banks()));
+      a.row = static_cast<std::uint32_t>(rng.next_below(geo.rows_per_bank));
+      a.col = static_cast<std::uint32_t>(rng.next_below(geo.cols_per_row()));
+      const std::uint64_t paddr = mapper->to_physical(a);
+      EXPECT_LT(paddr, geo.capacity_bytes()) << mapper->name();
+      EXPECT_EQ(mapper->to_dram(paddr), a) << mapper->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappers, MapperInvertibility,
+                         ::testing::Values(smc::MappingKind::kLinear,
+                                           smc::MappingKind::kLineInterleaved,
+                                           smc::MappingKind::kChannelInterleaved));
 
 // --------------------------------------------------------------------------
 // Cross-mode and cross-run invariants of the full system

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <functional>
 
 #include "smc/addr_map.hpp"
 #include "smc/bloom.hpp"
@@ -115,6 +116,18 @@ TableEntry entry_at(std::uint32_t bank, std::uint32_t row) {
   return e;
 }
 
+/// Test fake for the scheduler-facing bank-state interface: open rows are
+/// described by a lambda over the per-rank bank index.
+struct LambdaBanks final : BankStateView {
+  explicit LambdaBanks(
+      std::function<std::optional<std::uint32_t>(std::uint32_t)> f)
+      : fn(std::move(f)) {}
+  std::optional<std::uint32_t> open_row(const dram::DramAddress& a) const override {
+    return fn(a.bank);
+  }
+  std::function<std::optional<std::uint32_t>(std::uint32_t)> fn;
+};
+
 TEST(RequestTableTest, InsertRemoveAndCapacity) {
   RequestTable t(2);
   t.insert(entry_at(0, 1));
@@ -137,7 +150,7 @@ TEST(SchedulerTest, FcfsPicksOldest) {
   RequestTable t(4);
   t.insert(entry_at(3, 10));
   t.insert(entry_at(1, 20));
-  BankStateView banks([](std::uint32_t) { return std::optional<std::uint32_t>{}; });
+  LambdaBanks banks([](std::uint32_t) { return std::optional<std::uint32_t>{}; });
   FcfsScheduler fcfs;
   std::size_t scanned = 0;
   EXPECT_EQ(fcfs.pick(t, banks, scanned).value(), 0u);
@@ -148,7 +161,7 @@ TEST(SchedulerTest, FrfcfsPrefersRowHit) {
   RequestTable t(4);
   t.insert(entry_at(0, 10));  // oldest, row closed
   t.insert(entry_at(1, 20));  // row hit
-  BankStateView banks([](std::uint32_t bank) -> std::optional<std::uint32_t> {
+  LambdaBanks banks([](std::uint32_t bank) -> std::optional<std::uint32_t> {
     if (bank == 1) return 20;
     return std::nullopt;
   });
@@ -161,7 +174,7 @@ TEST(SchedulerTest, FrfcfsFallsBackToOldest) {
   RequestTable t(4);
   t.insert(entry_at(0, 10));
   t.insert(entry_at(1, 20));
-  BankStateView banks([](std::uint32_t) { return std::optional<std::uint32_t>{}; });
+  LambdaBanks banks([](std::uint32_t) { return std::optional<std::uint32_t>{}; });
   FrfcfsScheduler frfcfs;
   std::size_t scanned = 0;
   EXPECT_EQ(frfcfs.pick(t, banks, scanned).value(), 0u);
@@ -174,7 +187,7 @@ TEST(SchedulerTest, BatchSchedulerBoundsQueueingDelay) {
   RequestTable t(16);
   t.insert(entry_at(0, 99));                       // Old row miss (seq 0).
   for (int i = 0; i < 10; ++i) t.insert(entry_at(1, 20));  // Row hits.
-  BankStateView banks([](std::uint32_t bank) -> std::optional<std::uint32_t> {
+  LambdaBanks banks([](std::uint32_t bank) -> std::optional<std::uint32_t> {
     if (bank == 1) return 20;
     return std::nullopt;
   });
@@ -209,7 +222,7 @@ TEST(SchedulerTest, BlacklistSchedulerBreaksRowHitStreaks) {
   RequestTable t(16);
   t.insert(entry_at(0, 99));                       // Old row miss.
   for (int i = 0; i < 10; ++i) t.insert(entry_at(1, 20));  // Hit stream.
-  BankStateView banks([](std::uint32_t bank) -> std::optional<std::uint32_t> {
+  LambdaBanks banks([](std::uint32_t bank) -> std::optional<std::uint32_t> {
     if (bank == 1) return 20;
     return std::nullopt;
   });
@@ -227,7 +240,7 @@ TEST(SchedulerTest, BlacklistSchedulerBreaksRowHitStreaks) {
 
 TEST(SchedulerTest, EmptyTableYieldsNothing) {
   RequestTable t(4);
-  BankStateView banks([](std::uint32_t) { return std::optional<std::uint32_t>{}; });
+  LambdaBanks banks([](std::uint32_t) { return std::optional<std::uint32_t>{}; });
   FrfcfsScheduler frfcfs;
   FcfsScheduler fcfs;
   BatchScheduler parbs;
@@ -263,6 +276,17 @@ TEST(BloomTest, FalsePositiveRateIsModest) {
 TEST(BloomTest, EmptyFilterContainsNothing) {
   BloomFilter f(1024, 3);
   EXPECT_FALSE(f.maybe_contains(42));
+}
+
+TEST(BloomTest, MergeUnionsKeysWithoutFalseNegatives) {
+  BloomFilter a(4096, 4);
+  BloomFilter b(4096, 4);
+  for (std::uint64_t k = 0; k < 100; ++k) (k % 2 == 0 ? a : b).insert(k);
+  a.merge(b);
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_TRUE(a.maybe_contains(k));
+  EXPECT_EQ(a.inserted_keys(), 100u);
+  BloomFilter wrong_shape(1024, 4);
+  EXPECT_THROW(a.merge(wrong_shape), ContractViolation);
 }
 
 // --------------------------------------------------------------------------

@@ -6,6 +6,7 @@
 //   easydram_cli --list
 //   easydram_cli --scenario fig13_trcd_speedup --threads 4 --out r.json
 //   easydram_cli --scenario quickstart --iters 1
+//   easydram_cli --scenario channel_scaling --channels 8 --mapping channel
 
 #include "cli/scenario.hpp"
 
