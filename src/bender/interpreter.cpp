@@ -85,6 +85,10 @@ ExecutionResult Interpreter::execute(const Program& program, Picoseconds start) 
           last_data_end = std::max(last_data_end,
                                    t + device_->timing().read_data_latency());
           if (inst.capture) {
+            // One allocation for a typical row-batch worth of lines
+            // instead of doubling up from 1 (write-only batches still
+            // allocate nothing).
+            if (result.readback.capacity() == 0) result.readback.reserve(16);
             result.readback.push_back(ReadbackEntry{ir.data, ir.data_reliable});
           }
         }

@@ -192,13 +192,13 @@ TrcdSpeedup measure_trcd_speedup(std::string_view kernel, std::uint64_t seed) {
     return cfg;
   };
   sys::EasyDramSystem base(make_cfg());
-  cpu::VectorTrace t_base(trace_records);
+  cpu::SpanTrace t_base(trace_records);
   const auto r_base = base.run(t_base);
 
   sys::EasyDramSystem reduced(make_cfg());
   reduced.characterize_and_install_weak_rows(banks, rows, Picoseconds{9000},
                                              1 << 17, 4);
-  cpu::VectorTrace t_red(trace_records);
+  cpu::SpanTrace t_red(trace_records);
   const auto r_red = reduced.run(t_red);
 
   TrcdSpeedup out;
@@ -211,7 +211,7 @@ TrcdSpeedup measure_trcd_speedup(std::string_view kernel, std::uint64_t seed) {
   // the same characterization; 500 M-instruction window).
   ramulator::RamulatorConfig rcfg;
   ramulator::RamulatorSim sim_base(rcfg);
-  cpu::VectorTrace t_ram1(trace_records);
+  cpu::SpanTrace t_ram1(trace_records);
   const auto s_base = sim_base.run(t_ram1);
 
   ramulator::RamulatorConfig rcfg_red = rcfg;
@@ -224,7 +224,7 @@ TrcdSpeedup measure_trcd_speedup(std::string_view kernel, std::uint64_t seed) {
                : Picoseconds{13500};
   };
   ramulator::RamulatorSim sim_red(rcfg_red);
-  cpu::VectorTrace t_ram2(trace_records);
+  cpu::SpanTrace t_ram2(trace_records);
   const auto s_red = sim_red.run(t_ram2);
   out.ram =
       static_cast<double>(s_base.cycles) / static_cast<double>(s_red.cycles);
@@ -237,7 +237,7 @@ SimSpeed measure_sim_speed(std::string_view kernel, std::uint64_t seed) {
   sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
   cfg.variation.seed = seed;
   sys::EasyDramSystem sysm(cfg);
-  cpu::VectorTrace t1(records);
+  cpu::SpanTrace t1(records);
   const auto r = sysm.run(t1);
 
   SimSpeed out;
@@ -245,7 +245,7 @@ SimSpeed measure_sim_speed(std::string_view kernel, std::uint64_t seed) {
       static_cast<double>(r.cycles) / sysm.wall().seconds() / 1e6;
 
   ramulator::RamulatorSim sim{ramulator::RamulatorConfig{}};
-  cpu::VectorTrace t2(records);
+  cpu::SpanTrace t2(records);
   const auto host_start = std::chrono::steady_clock::now();
   const auto s = sim.run(t2);
   const double host_seconds =

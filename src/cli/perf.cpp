@@ -1,0 +1,235 @@
+// Host-performance harness: times the throughput-sensitive paths of the
+// simulator on the *host* clock. These are the only measurements in the
+// repository (besides fig14's Ramulator column) that read a real clock —
+// they quantify how fast the simulation itself runs, not anything the
+// paper models, and they exist so every PR can diff BENCH_results.json
+// against its predecessor.
+
+#include "cli/perf.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sys/system.hpp"
+
+namespace easydram::cli {
+namespace {
+
+std::int64_t scaled(const PerfOptions& opts, std::int64_t budget) {
+  const auto n = static_cast<std::int64_t>(
+      static_cast<double>(budget) * opts.scale);
+  return std::max<std::int64_t>(n, 1);
+}
+
+sys::SystemConfig harness_config(const PerfOptions& opts) {
+  sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
+  cfg.variation.seed = opts.run.seed;
+  cfg.geometry.channels = opts.run.channels;
+  cfg.geometry.ranks_per_channel = opts.run.ranks;
+  cfg.mapping = opts.run.mapping;
+  return cfg;
+}
+
+/// Drives `n` independent stride-64 requests straight into the memory
+/// backend (no core model in the way) and waits for every completion —
+/// the request-lifecycle hot path: submit, FIFO, request table, scheduler,
+/// batch drain, response ring. Returns the requests driven.
+std::int64_t micro_burst(const PerfOptions& opts, bool writes) {
+  sys::EasyDramSystem sysm(harness_config(opts));
+  const std::int64_t n = scaled(opts, 16384);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto addr = static_cast<std::uint64_t>(i) * 64;
+    const auto now = 100 + i;
+    ids.push_back(writes ? sysm.submit_write(addr, now)
+                         : sysm.submit_read(addr, now));
+  }
+  for (const std::uint64_t id : ids) sysm.wait(id);
+  return n;
+}
+
+std::int64_t micro_read_burst(const PerfOptions& opts) {
+  return micro_burst(opts, /*writes=*/false);
+}
+
+std::int64_t micro_write_burst(const PerfOptions& opts) {
+  return micro_burst(opts, /*writes=*/true);
+}
+
+/// Dependent (pointer-chase-style) reads: one outstanding request at a
+/// time, so per-request overhead — not batching — dominates. This is the
+/// pattern the fig8/fig14 workloads drive through the core model.
+std::int64_t micro_dependent_reads(const PerfOptions& opts) {
+  sys::EasyDramSystem sysm(harness_config(opts));
+  const std::int64_t n = scaled(opts, 4096);
+  std::int64_t now = 100;
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Stride one row (8 KiB) so every access opens a fresh row.
+    const auto addr = static_cast<std::uint64_t>(i) * 8192;
+    now = sysm.wait(sysm.submit_read(addr, now)).release_cycle + 1;
+  }
+  return n;
+}
+
+/// Scenario-wrapped benches: run the registered scenario quietly and time
+/// the whole run. `fig14_sim_speed` is the paper's simulation-speed study
+/// (EasyDRAM model + Ramulator baseline, PolyBench kernels end to end);
+/// `channel_scaling` sweeps the multi-channel subsystem, where most pumped
+/// channels are idle and the idle-channel fast path pays off.
+std::int64_t scenario_bench(std::string_view name, const PerfOptions& opts,
+                            std::uint32_t channels) {
+  const Scenario* s = ScenarioRegistry::instance().find(name);
+  EASYDRAM_EXPECTS(s != nullptr);
+  RunOptions quiet = opts.run;
+  quiet.verbose = false;
+  quiet.iters = 1;
+  quiet.threads = 1;
+  quiet.channels = std::max(quiet.channels, channels);
+  run_scenario(*s, quiet);
+  return 0;
+}
+
+std::int64_t fig14_bench(const PerfOptions& opts) {
+  return scenario_bench("fig14_sim_speed", opts, 1);
+}
+
+std::int64_t channel_scaling_bench(const PerfOptions& opts) {
+  return scenario_bench("channel_scaling", opts, 8);
+}
+
+struct PerfBench {
+  std::string_view name;
+  std::string_view summary;
+  std::int64_t (*run)(const PerfOptions&);
+};
+
+constexpr PerfBench kBenches[] = {
+    {"micro_read_burst",
+     "16384 independent stride-64 reads through submit/wait", &micro_read_burst},
+    {"micro_write_burst",
+     "16384 independent stride-64 writes through submit/wait",
+     &micro_write_burst},
+    {"micro_dependent_reads",
+     "4096 dependent row-miss reads, one outstanding at a time",
+     &micro_dependent_reads},
+    {"fig14_sim_speed",
+     "Full fig14_sim_speed scenario (PolyBench on EasyDRAM + Ramulator)",
+     &fig14_bench},
+    {"channel_scaling",
+     "Full channel_scaling scenario at >= 8 channels", &channel_scaling_bench},
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::vector<PerfBenchOutcome> run_perf_benches(const PerfOptions& opts) {
+  EASYDRAM_EXPECTS(opts.reps >= 1);
+  for (const std::string& name : opts.only) {
+    const bool known = std::any_of(
+        std::begin(kBenches), std::end(kBenches),
+        [&name](const PerfBench& b) { return b.name == name; });
+    if (!known) throw std::runtime_error("unknown perf bench: " + name);
+  }
+
+  std::vector<PerfBenchOutcome> outcomes;
+  for (const PerfBench& b : kBenches) {
+    if (!opts.only.empty() &&
+        std::find(opts.only.begin(), opts.only.end(), b.name) ==
+            opts.only.end()) {
+      continue;
+    }
+    PerfBenchOutcome o;
+    o.name = std::string(b.name);
+    o.summary = std::string(b.summary);
+    for (int rep = 0; rep < opts.reps; ++rep) {
+      const double t0 = now_seconds();
+      o.work_items = b.run(opts);
+      const double dt = now_seconds() - t0;
+      o.host_seconds.push_back(dt);
+      o.finite = o.finite && std::isfinite(dt) && dt > 0.0;
+    }
+    outcomes.push_back(std::move(o));
+  }
+  return outcomes;
+}
+
+Json perf_results_json(const PerfOptions& opts,
+                       const std::vector<PerfBenchOutcome>& outcomes) {
+  Json doc = Json::object();
+  doc["schema"] = "easydram-bench-v1";
+  doc["generator"] = "easydram_cli --perf";
+  doc["reps"] = opts.reps;
+  doc["scale"] = opts.scale;
+  doc["seed"] = static_cast<std::int64_t>(opts.run.seed);
+  bool all_finite = true;
+
+  Json benches = Json::array();
+  for (const PerfBenchOutcome& o : outcomes) {
+    Json j = Json::object();
+    j["name"] = o.name;
+    j["summary"] = o.summary;
+    j["work_items"] = o.work_items;
+    Json secs = Json::array();
+    double best = o.host_seconds.empty() ? 0.0 : o.host_seconds.front();
+    for (const double s : o.host_seconds) {
+      secs.push_back(s);
+      best = std::min(best, s);
+    }
+    j["host_seconds_per_rep"] = std::move(secs);
+    j["host_seconds_best"] = best;
+    j["host_seconds_mean"] = mean(o.host_seconds);
+    if (o.work_items > 0 && best > 0.0) {
+      j["requests_per_second_best"] =
+          static_cast<double>(o.work_items) / best;
+    }
+    j["finite"] = o.finite;
+    all_finite = all_finite && o.finite;
+    benches.push_back(std::move(j));
+  }
+  doc["benches"] = std::move(benches);
+  // The one field CI's perf-smoke gate reads: crash-free and every
+  // measurement finite/positive (never a speed threshold — runners are
+  // noisy).
+  doc["all_finite"] = all_finite;
+  return doc;
+}
+
+void print_perf_table(std::ostream& os,
+                      const std::vector<PerfBenchOutcome>& outcomes) {
+  TextTable t;
+  t.set_header({"Bench", "best (s)", "mean (s)", "reqs", "req/s (best)"});
+  for (const PerfBenchOutcome& o : outcomes) {
+    double best = o.host_seconds.empty() ? 0.0 : o.host_seconds.front();
+    for (const double s : o.host_seconds) best = std::min(best, s);
+    const double rps =
+        o.work_items > 0 && best > 0.0
+            ? static_cast<double>(o.work_items) / best
+            : 0.0;
+    t.add_row({o.name, fmt_fixed(best, 4), fmt_fixed(mean(o.host_seconds), 4),
+               o.work_items > 0 ? std::to_string(o.work_items) : "-",
+               rps > 0.0 ? fmt_fixed(rps, 0) : "-"});
+  }
+  t.print(os);
+  os << "\nHost-clock measurements: load-dependent by design. CI gates on\n"
+        "crash/NaN only; cross-PR comparisons should use the same machine.\n";
+}
+
+void list_perf_benches(std::ostream& os) {
+  for (const PerfBench& b : kBenches) {
+    os << b.name << "\n    " << b.summary << "\n";
+  }
+}
+
+}  // namespace easydram::cli

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cli/json.hpp"
+#include "cli/scenario.hpp"
+
+namespace easydram::cli {
+
+/// Options of the host-performance harness (`easydram_cli --perf`). The
+/// shared RunOptions supply the seed and the memory-system shape; the
+/// harness-specific knobs bound how long a run takes so CI can use a short
+/// budget while perf investigations use a long one.
+struct PerfOptions {
+  RunOptions run;
+  int reps = 3;        ///< Timed repetitions per bench (best-of is reported).
+  /// Multiplier on the micro benches' iteration budgets. The
+  /// scenario-wrapped benches (fig14_sim_speed, channel_scaling) always
+  /// run their full scenario — a partial scenario would not measure the
+  /// artifact the bench is named after; use --scenario to skip them when
+  /// a short run matters more than coverage.
+  double scale = 1.0;
+  std::vector<std::string> only;  ///< Bench-name filter; empty = all.
+};
+
+/// One bench's timed outcome.
+struct PerfBenchOutcome {
+  std::string name;
+  std::string summary;
+  std::int64_t work_items = 0;  ///< Requests driven per rep (0 = untracked).
+  std::vector<double> host_seconds;  ///< One entry per repetition.
+  bool finite = true;  ///< All measurements were positive and finite.
+};
+
+/// Runs the registered host-performance benches (micro read/write bursts,
+/// fig14_sim_speed, channel_scaling) and returns their outcomes. Throws on
+/// an unknown name in `opts.only`.
+std::vector<PerfBenchOutcome> run_perf_benches(const PerfOptions& opts);
+
+/// Wraps outcomes in the machine-readable BENCH_results.json document
+/// (schema "easydram-bench-v1" — see README "Performance").
+Json perf_results_json(const PerfOptions& opts,
+                       const std::vector<PerfBenchOutcome>& outcomes);
+
+/// Prints the human-readable summary table.
+void print_perf_table(std::ostream& os,
+                      const std::vector<PerfBenchOutcome>& outcomes);
+
+/// Lists the registered perf benches (name + summary), one per line.
+void list_perf_benches(std::ostream& os);
+
+}  // namespace easydram::cli

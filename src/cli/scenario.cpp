@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "cli/measure.hpp"
+#include "cli/perf.hpp"
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -91,6 +92,9 @@ struct ParsedArgs {
   std::string out_path;
   bool list = false;
   bool help = false;
+  bool perf = false;
+  int perf_reps = 3;
+  double perf_scale = 1.0;
   std::string error;
 };
 
@@ -161,6 +165,24 @@ ParsedArgs parse_args(int argc, char** argv) {
         if (!kind) a.error = "bad --mapping value (linear | line | channel)";
         else a.opts.mapping = *kind;
       }
+    } else if (arg == "--perf") {
+      a.perf = true;
+    } else if (arg == "--perf-reps") {
+      if (const char* v = value()) {
+        const auto n = parse_int(v);
+        if (!n || *n < 1 || *n > 1000) a.error = "bad --perf-reps value";
+        else a.perf_reps = static_cast<int>(*n);
+      }
+    } else if (arg == "--perf-scale") {
+      if (const char* v = value()) {
+        char* end = nullptr;
+        const double s = std::strtod(v, &end);
+        if (end == v || *end != '\0' || !(s > 0.0) || s > 1000.0) {
+          a.error = "bad --perf-scale value (need 0 < scale <= 1000)";
+        } else {
+          a.perf_scale = s;
+        }
+      }
     } else {
       a.error = "unknown argument: " + std::string(arg);
     }
@@ -173,6 +195,7 @@ void print_usage(std::ostream& os, const char* prog) {
   os << "Usage: " << prog
      << " [--scenario NAME]... [--list] [--seed N] [--iters N]\n"
         "       [--threads N] [--channels N] [--ranks N] [--mapping KIND]\n"
+        "       [--perf] [--perf-reps N] [--perf-scale X]\n"
         "       [--out results.json] [--quiet] [--help]\n\n"
         "Runs EasyDRAM experiment scenarios (paper figure/table reproducers\n"
         "and ablations) and emits machine-readable JSON summaries.\n\n"
@@ -184,11 +207,19 @@ void print_usage(std::ostream& os, const char* prog) {
         "  --channels N     memory channels (memory-system scenarios)\n"
         "  --ranks N        ranks per channel (memory-system scenarios)\n"
         "  --mapping KIND   address mapping: linear | line | channel\n"
+        "  --perf           run the host-performance harness instead\n"
+        "  --perf-reps N    timed repetitions per perf bench (default 3)\n"
+        "  --perf-scale X   multiplier on the micro benches' iteration\n"
+        "                   budgets (scenario benches always run whole)\n"
         "  --out PATH       write the JSON summary to PATH\n"
         "  --quiet          suppress the human-readable tables\n\n"
         "The paper scenarios always run the validated 1-channel/1-rank\n"
         "geometry; --channels/--ranks/--mapping shape the memory-system\n"
-        "scenarios (channel_scaling, rank_interleaving).\n";
+        "scenarios (channel_scaling, rank_interleaving).\n\n"
+        "--perf times the simulator's host-side hot paths (micro read/write\n"
+        "bursts plus the throughput-sensitive scenarios) and writes the\n"
+        "BENCH_results.json perf-trajectory document to --out; with --perf,\n"
+        "--scenario filters the perf benches by name.\n";
 }
 
 void print_list(std::ostream& os) {
@@ -216,6 +247,39 @@ int scenario_main(std::span<const std::string_view> default_names, int argc,
   }
   if (a.list) {
     print_list(std::cout);
+    if (a.perf) {
+      std::cout << "\nPerf benches (--perf):\n";
+      list_perf_benches(std::cout);
+    }
+    return 0;
+  }
+
+  if (a.perf) {
+    PerfOptions popts;
+    popts.run = a.opts;
+    popts.reps = a.perf_reps;
+    popts.scale = a.perf_scale;
+    popts.only = a.scenarios;
+    std::vector<PerfBenchOutcome> outcomes;
+    try {
+      outcomes = run_perf_benches(popts);
+    } catch (const std::exception& e) {
+      std::cerr << prog << ": " << e.what() << "\n";
+      return 2;
+    }
+    if (a.opts.verbose) print_perf_table(std::cout, outcomes);
+    if (!a.out_path.empty()) {
+      std::ofstream out(a.out_path);
+      if (!out) {
+        std::cerr << prog << ": cannot open " << a.out_path
+                  << " for writing\n";
+        return 1;
+      }
+      out << perf_results_json(popts, outcomes).dump_string();
+      if (a.opts.verbose) {
+        std::cout << "\nWrote perf results to " << a.out_path << "\n";
+      }
+    }
     return 0;
   }
 

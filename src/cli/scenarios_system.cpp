@@ -330,7 +330,11 @@ Json run_fig14(const RunOptions& opts) {
                  "avg " << fmt_fixed(s.mean(), 1) << "x, max "
               << fmt_fixed(s.max(), 1)
               << "x. Note: the Ramulator column depends on host CPU speed; the\n"
-                 "EasyDRAM column is a deterministic model output.\n";
+                 "EasyDRAM column is a deterministic model output. The host-\n"
+                 "speed overhaul made this repository's Ramulator baseline\n"
+                 "itself ~2.5x faster, so measured ratios here are smaller\n"
+                 "than the paper's (and than pre-overhaul runs) by exactly\n"
+                 "that baseline speedup — a host artifact, not a model change.\n";
   }
 
   Json out = Json::object();

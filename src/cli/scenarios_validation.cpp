@@ -53,13 +53,13 @@ Json run_validation(const RunOptions& opts) {
         sys::SystemConfig ts_cfg = sys::validation_time_scaling();
         ts_cfg.variation.seed = seed;
         sys::EasyDramSystem ts(ts_cfg);
-        cpu::VectorTrace t1(records);
+        cpu::SpanTrace t1(records);
         const auto r_ts = ts.run(t1);
 
         sys::SystemConfig ref_cfg = sys::validation_reference();
         ref_cfg.variation.seed = seed;
         sys::EasyDramSystem ref(ref_cfg);
-        cpu::VectorTrace t2(records);
+        cpu::SpanTrace t2(records);
         const auto r_ref = ref.run(t2);
 
         Point p;

@@ -1,5 +1,7 @@
 #include "cpu/cache.hpp"
 
+#include <bit>
+
 namespace easydram::cpu {
 
 namespace {
@@ -14,19 +16,24 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   EASYDRAM_EXPECTS(cfg.size_bytes % (static_cast<std::uint64_t>(cfg.ways) * cfg.line_bytes) == 0);
   num_sets_ = cfg.size_bytes / (static_cast<std::uint64_t>(cfg.ways) * cfg.line_bytes);
   EASYDRAM_EXPECTS(num_sets_ > 0 && is_pow2(num_sets_));
+  // Both divisors are powers of two; shifts keep the per-access cost to a
+  // couple of ALU ops (this is the hottest function in both simulators).
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg.line_bytes));
+  sets_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(num_sets_)));
   ways_.assign(num_sets_ * cfg.ways, Way{});
 }
 
 std::size_t Cache::set_of(std::uint64_t line) const {
-  return static_cast<std::size_t>((line / cfg_.line_bytes) & (num_sets_ - 1));
+  return static_cast<std::size_t>((line >> line_shift_) & (num_sets_ - 1));
 }
 
 std::uint64_t Cache::tag_of(std::uint64_t line) const {
-  return (line / cfg_.line_bytes) / num_sets_;
+  return line >> (line_shift_ + sets_shift_);
 }
 
 std::uint64_t Cache::line_of(std::size_t set, std::uint64_t tag) const {
-  return (tag * num_sets_ + set) * cfg_.line_bytes;
+  return ((tag << sets_shift_) + set) << line_shift_;
 }
 
 bool Cache::access(std::uint64_t line) {

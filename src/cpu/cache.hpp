@@ -68,6 +68,8 @@ class Cache {
 
   CacheConfig cfg_;
   std::size_t num_sets_;
+  std::uint32_t line_shift_ = 0;  ///< log2(line_bytes).
+  std::uint32_t sets_shift_ = 0;  ///< log2(num_sets_).
   std::vector<Way> ways_;  ///< num_sets_ x cfg_.ways, row-major.
   std::uint64_t lru_clock_ = 0;
   std::int64_t hits_ = 0;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/units.hpp"
@@ -60,6 +61,29 @@ class VectorTrace final : public TraceSource {
 
  private:
   std::vector<TraceRecord> records_;
+  std::size_t cursor_ = 0;
+};
+
+/// A trace replayed from a caller-owned span (ignores feedback). Use this
+/// to run several simulators over one generated workload: the multi-
+/// million-record kernels are expensive to copy, and the span borrows them
+/// instead. The underlying storage must outlive the source.
+class SpanTrace final : public TraceSource {
+ public:
+  explicit SpanTrace(std::span<const TraceRecord> records)
+      : records_(records) {}
+
+  bool next(TraceRecord& out, bool /*last_rowclone_ok*/) override {
+    if (cursor_ >= records_.size()) return false;
+    out = records_[cursor_++];
+    return true;
+  }
+
+  void rewind() { cursor_ = 0; }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::span<const TraceRecord> records_;
   std::size_t cursor_ = 0;
 };
 

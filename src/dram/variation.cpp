@@ -40,11 +40,22 @@ double VariationModel::smooth_noise(std::uint32_t bank, std::uint32_t row) const
 
 Picoseconds VariationModel::row_min_trcd(std::uint32_t bank, std::uint32_t row) const {
   EASYDRAM_EXPECTS(bank < geo_.banks_per_channel() && row < geo_.rows_per_bank);
+  if (row_trcd_cache_.empty()) row_trcd_cache_.resize(kRowTrcdCacheSize);
+  const std::uint64_t key = (static_cast<std::uint64_t>(bank) << 32) | row;
+  // Spread consecutive rows and banks over the table; power-of-two mask.
+  const std::size_t slot_idx =
+      static_cast<std::size_t>((row + bank * 0x9E3779B9ull)) &
+      (kRowTrcdCacheSize - 1);
+  RowTrcdSlot& slot = row_trcd_cache_[slot_idx];
+  if (slot.key == key) return Picoseconds{slot.ps};
   const double n = smooth_noise(bank, row);
   const double shaped = std::pow(n, cfg_.shape);
   const double span = static_cast<double>(cfg_.max_trcd.count - cfg_.min_trcd.count);
-  return Picoseconds{cfg_.min_trcd.count +
-                     static_cast<std::int64_t>(shaped * span)};
+  const std::int64_t ps =
+      cfg_.min_trcd.count + static_cast<std::int64_t>(shaped * span);
+  slot.key = key;
+  slot.ps = ps;
+  return Picoseconds{ps};
 }
 
 Picoseconds VariationModel::line_min_trcd(std::uint32_t bank, std::uint32_t row,

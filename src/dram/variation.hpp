@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -75,6 +76,17 @@ class VariationModel {
 
   Geometry geo_;
   VariationConfig cfg_;
+  /// Direct-mapped memo of row_min_trcd (a pure function of the seed and
+  /// the row coordinate, but pow()-heavy): row opens dominate both
+  /// simulators' hot paths and revisit the same rows constantly. Fixed
+  /// footprint so the many short-lived devices of a sweep pay no per-bank
+  /// allocation; a colliding coordinate simply recomputes.
+  struct RowTrcdSlot {
+    std::uint64_t key = ~0ull;  ///< bank << 32 | row; ~0 = empty.
+    std::int64_t ps = 0;
+  };
+  static constexpr std::size_t kRowTrcdCacheSize = 4096;  ///< Power of two.
+  mutable std::vector<RowTrcdSlot> row_trcd_cache_;
 };
 
 }  // namespace easydram::dram

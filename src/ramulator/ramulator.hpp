@@ -90,17 +90,55 @@ class RamulatorSim {
 
   dram::DramAddress map(std::uint64_t paddr) const;
   /// Attempts to issue one DRAM command; returns true if one was issued.
+  /// On failure records when the attempt can next succeed (issue_retry_at_)
+  /// so intervening ticks cost one compare.
   bool issue_one_command(Picoseconds now);
   /// FR-FCFS pick over a queue; returns index or npos.
   std::size_t pick_frfcfs(const std::vector<MemRequest>& queue) const;
-  bool try_advance_request(MemRequest& req, Picoseconds now, bool& done);
+  /// On failure sets `block_until` to the earliest time the *first failing
+  /// check* clears (later checks may then block again — the caller simply
+  /// retries there, a few attempts per command instead of every cycle).
+  bool try_advance_request(MemRequest& req, Picoseconds now, bool& done,
+                           Picoseconds& block_until);
   void tick_memory(Picoseconds now);
+  /// Drops the pick memo and the issue-retry horizon: called whenever a
+  /// command issues or a request is enqueued (the only events that change
+  /// what or when the controller can issue).
+  void invalidate_issue_cache() {
+    cached_pick_ = static_cast<std::size_t>(-1);
+    issue_retry_valid_ = false;
+  }
+  bool fail_until(Picoseconds at) {
+    issue_retry_at_ = at;
+    issue_retry_valid_ = true;
+    return false;
+  }
+  /// Records a completion and keeps earliest_completion_ current.
+  void push_completion(Picoseconds ready, std::uint64_t id) {
+    completions_.emplace_back(ready, id);
+    if (ready < earliest_completion_) earliest_completion_ = ready;
+  }
 
   RamulatorConfig cfg_;
   std::vector<BankState> banks_;
   std::vector<MemRequest> read_queue_;
   std::vector<MemRequest> write_queue_;
   std::vector<std::pair<Picoseconds, std::uint64_t>> completions_;  ///< (ready, id)
+  /// FR-FCFS pick memoization: queue contents and bank states only change
+  /// when a command issues or a request is enqueued, so between those
+  /// events the pick is invariant and the per-cycle scan can be skipped.
+  /// kNpos (invalid) after any such event.
+  std::size_t cached_pick_ = static_cast<std::size_t>(-1);
+  bool cached_pick_write_ = false;
+  /// Earliest time the next issue attempt can differ from the last failed
+  /// one (valid while no command issued / nothing enqueued since). Lets
+  /// the run loop fast-forward blocked stretches in one step.
+  Picoseconds issue_retry_at_{};
+  bool issue_retry_valid_ = false;
+  static constexpr std::int64_t kNever = INT64_MAX;
+  /// Earliest pending completion time; the per-cycle harvest scan is
+  /// skipped until the clock reaches it.
+  Picoseconds earliest_completion_{kNever};
   std::vector<Picoseconds> act_window_;
   Picoseconds last_cmd_{};
   Picoseconds bus_free_{};

@@ -87,20 +87,23 @@ void MemoryController::serve_column_batch(EasyApi& api, TableEntry first) {
 
   // Drain further column requests to the same row into this batch: the
   // row opens once and the remaining accesses are back-to-back column
-  // commands — write streaming / row-hit read draining.
-  std::vector<TableEntry> batch;
+  // commands — write streaming / row-hit read draining. One pass over the
+  // arrival-ordered table, unlinking matches in place (the traversal order
+  // is the arrival order the old index scan produced).
+  std::vector<TableEntry>& batch = batch_scratch_;
+  batch.clear();
   batch.push_back(std::move(first));
-  for (std::size_t i = 0;
-       i < table_.size() && batch.size() < options_.row_batch_limit;) {
-    const TableEntry& e = table_.at(i);
+  for (std::size_t slot = table_.first();
+       slot != RequestTable::kNull && batch.size() < options_.row_batch_limit;) {
+    const TableEntry& e = table_.at(slot);
+    const std::size_t next = table_.next(slot);
     const bool column_op = e.request.kind == tile::RequestKind::kRead ||
                            e.request.kind == tile::RequestKind::kWrite;
     if (column_op && dram::row_key(e.dram_addr) == dram::row_key(target)) {
       api.charge(api.tile().meter().costs().schedule_scan_entry);
-      batch.push_back(table_.remove(i));
-    } else {
-      ++i;
+      batch.push_back(table_.remove(slot));
     }
+    slot = next;
   }
 
   // Open the row once, choosing the tRCD per the weak-row filter. The

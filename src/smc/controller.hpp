@@ -76,6 +76,9 @@ class MemoryController final : public Controller {
 
   ControllerOptions options_;
   RequestTable table_;
+  /// Scratch for serve_column_batch, reused across batches so the hot
+  /// path never allocates.
+  std::vector<TableEntry> batch_scratch_;
 };
 
 /// The minimal Listing-1 controller: serves read requests one at a time,

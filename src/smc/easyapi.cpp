@@ -60,7 +60,7 @@ void EasyApi::enqueue_response(tile::Response r) {
   charge_service(tile_->meter().costs().enqueue_response);
   sync_meter();
   r.release_proc_cycle = keeper_->response_release_tag();
-  tile_->outgoing().push(r);
+  tile_->outgoing().push(std::move(r));
   ++stats_.responses_sent;
 }
 
@@ -228,7 +228,9 @@ bender::ExecutionResult EasyApi::flush_commands(bool charge) {
     charge_service(tile_->meter().costs().readback_line *
                    static_cast<std::int64_t>(result.readback.size()));
   }
-  readback_ = result.readback;
+  // Steal the readback buffer (no caller reads it off the returned
+  // ExecutionResult; they consume lines through rdback_cacheline()).
+  readback_ = std::move(result.readback);
   rdback_cursor_ = 0;
   program_.clear();
   for (auto& p : pending_row_) p.reset();

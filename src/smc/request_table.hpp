@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstddef>
-#include <optional>
+#include <cstdint>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -20,40 +20,97 @@ struct TableEntry {
 
 /// The software request table (§4.4 step 5): a fixed-capacity scratchpad
 /// structure the SMC moves requests into before scheduling them.
+///
+/// Storage is slot-based: entries occupy fixed slots recycled through a
+/// free list, and an intrusive doubly-linked list threads the occupied
+/// slots in arrival order. insert/remove are O(1) with no element
+/// shifting; traversal (first()/next()) visits entries oldest-first,
+/// which is the order the schedulers' age comparisons and the
+/// controller's same-row batch drain depend on. Slot indices are stable
+/// for an entry's lifetime: the value a scheduler returns from pick() can
+/// be passed to at()/remove() without any shifting caveats.
 class RequestTable {
  public:
-  explicit RequestTable(std::size_t capacity) : capacity_(capacity) {
+  /// Sentinel slot index: end of the arrival-ordered traversal.
+  static constexpr std::size_t kNull = static_cast<std::size_t>(-1);
+
+  explicit RequestTable(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
     EASYDRAM_EXPECTS(capacity > 0);
-    entries_.reserve(capacity);
+    free_.reserve(capacity);
+    for (std::size_t i = capacity; i-- > 0;) free_.push_back(i);
   }
 
-  bool empty() const { return entries_.empty(); }
-  bool full() const { return entries_.size() >= capacity_; }
-  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+  std::size_t size() const { return size_; }
   std::size_t capacity() const { return capacity_; }
 
-  void insert(TableEntry entry) {
+  /// Stages an entry, stamping its arrival sequence number; returns the
+  /// slot it was placed in.
+  std::size_t insert(TableEntry entry) {
     EASYDRAM_EXPECTS(!full());
-    entry.arrival_seq = next_seq_++;
-    entries_.push_back(std::move(entry));
+    const std::size_t slot = free_.back();
+    free_.pop_back();
+    Slot& s = slots_[slot];
+    s.entry = std::move(entry);
+    s.entry.arrival_seq = next_seq_++;
+    s.occupied = true;
+    s.prev = tail_;
+    s.next = kNull;
+    if (tail_ != kNull) {
+      slots_[tail_].next = slot;
+    } else {
+      head_ = slot;
+    }
+    tail_ = slot;
+    ++size_;
+    return slot;
   }
 
-  const TableEntry& at(std::size_t i) const {
-    EASYDRAM_EXPECTS(i < entries_.size());
-    return entries_[i];
+  const TableEntry& at(std::size_t slot) const {
+    EASYDRAM_EXPECTS(slot < slots_.size() && slots_[slot].occupied);
+    return slots_[slot].entry;
   }
 
-  TableEntry remove(std::size_t i) {
-    EASYDRAM_EXPECTS(i < entries_.size());
-    TableEntry e = std::move(entries_[i]);
-    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
-    return e;
+  TableEntry remove(std::size_t slot) {
+    EASYDRAM_EXPECTS(slot < slots_.size() && slots_[slot].occupied);
+    Slot& s = slots_[slot];
+    if (s.prev != kNull) slots_[s.prev].next = s.next; else head_ = s.next;
+    if (s.next != kNull) slots_[s.next].prev = s.prev; else tail_ = s.prev;
+    s.occupied = false;
+    free_.push_back(slot);
+    --size_;
+    return std::move(s.entry);
+  }
+
+  /// Oldest occupied slot (head of the arrival-ordered list), kNull when
+  /// empty. Because arrival sequence numbers are assigned monotonically,
+  /// this is always the entry with the minimum arrival_seq.
+  std::size_t first() const { return head_; }
+
+  /// Next-younger occupied slot after `slot` in arrival order, kNull at
+  /// the end.
+  std::size_t next(std::size_t slot) const {
+    EASYDRAM_EXPECTS(slot < slots_.size() && slots_[slot].occupied);
+    return slots_[slot].next;
   }
 
  private:
+  struct Slot {
+    TableEntry entry;
+    std::size_t prev = kNull;
+    std::size_t next = kNull;
+    bool occupied = false;
+  };
+
   std::size_t capacity_;
   std::uint64_t next_seq_ = 0;
-  std::vector<TableEntry> entries_;
+  std::size_t size_ = 0;
+  std::size_t head_ = kNull;
+  std::size_t tail_ = kNull;
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> free_;  ///< Back of the vector is handed out next.
 };
 
 }  // namespace easydram::smc

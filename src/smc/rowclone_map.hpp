@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -15,6 +16,11 @@ namespace easydram::smc {
 /// `bank` is a system-wide flat bank index (Geometry::system_bank) so one
 /// shared map serves every channel and rank; for the default 1x1 geometry
 /// it equals the plain per-rank bank index.
+///
+/// The map key carries the full (bank, src, dst) coordinate exactly — the
+/// earlier `src << 24 | dst` packing silently aliased row indices ≥ 2^24
+/// into each other and into the bank field, so two distinct pairs could
+/// share one clonability verdict.
 class RowCloneMap {
  public:
   void record(std::uint32_t bank, std::uint32_t src_row, std::uint32_t dst_row,
@@ -37,12 +43,35 @@ class RowCloneMap {
   std::size_t size() const { return pairs_.size(); }
 
  private:
-  static std::uint64_t key(std::uint32_t bank, std::uint32_t src, std::uint32_t dst) {
-    return (static_cast<std::uint64_t>(bank) << 48) |
-           (static_cast<std::uint64_t>(src) << 24) | dst;
+  /// Lossless pair key: bank in the high word, the two full 32-bit row
+  /// indices below it. Distinct (bank, src, dst) triples never collide.
+  struct PairKey {
+    std::uint64_t bank_src;  ///< bank << 32 | src_row
+    std::uint64_t dst;
+
+    bool operator==(const PairKey&) const = default;
+  };
+
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const {
+      // splitmix64-style finalizer over both words: cheap, and every input
+      // bit diffuses into the hash (unordered_map pow-2/prime bucketing
+      // sees high entropy in the low bits either way).
+      std::uint64_t x = k.bank_src ^ (k.dst * 0x9E3779B97F4A7C15ull);
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ull;
+      x ^= x >> 27;
+      x *= 0x94D049BB133111EBull;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  static PairKey key(std::uint32_t bank, std::uint32_t src, std::uint32_t dst) {
+    return PairKey{(static_cast<std::uint64_t>(bank) << 32) | src, dst};
   }
 
-  std::unordered_map<std::uint64_t, bool> pairs_;
+  std::unordered_map<PairKey, bool, PairKeyHash> pairs_;
 };
 
 }  // namespace easydram::smc

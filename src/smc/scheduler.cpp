@@ -1,20 +1,15 @@
 #include "smc/scheduler.hpp"
 
-#include <algorithm>
-
 namespace easydram::smc {
 
 std::optional<std::size_t> FcfsScheduler::pick(const RequestTable& table,
                                                const BankStateView& /*banks*/,
                                                std::size_t& scanned_entries) {
-  scanned_entries = table.empty() ? 0 : 1;
+  // The modeled SMC program walks its whole table to find the oldest
+  // entry; the host gets it for free as the head of the arrival list.
+  scanned_entries = table.size();
   if (table.empty()) return std::nullopt;
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < table.size(); ++i) {
-    ++scanned_entries;
-    if (table.at(i).arrival_seq < table.at(best).arrival_seq) best = i;
-  }
-  return best;
+  return table.first();
 }
 
 namespace {
@@ -31,18 +26,18 @@ bool is_row_hit(const BankStateView& banks, const dram::DramAddress& a) {
 std::optional<std::size_t> frfcfs_pick_below(const RequestTable& table,
                                              const BankStateView& banks,
                                              std::uint64_t seq_limit) {
-  std::optional<std::size_t> oldest_hit;
+  // Traversal is oldest-first, so the first in-limit entry is the oldest
+  // and the first row hit found is the oldest row hit; entries at or past
+  // the limit form a suffix of the list and end the walk.
   std::optional<std::size_t> oldest;
-  for (std::size_t i = 0; i < table.size(); ++i) {
-    const TableEntry& e = table.at(i);
-    if (e.arrival_seq >= seq_limit) continue;
-    if (!oldest || e.arrival_seq < table.at(*oldest).arrival_seq) oldest = i;
-    if (is_row_hit(banks, e.dram_addr) &&
-        (!oldest_hit || e.arrival_seq < table.at(*oldest_hit).arrival_seq)) {
-      oldest_hit = i;
-    }
+  for (std::size_t s = table.first(); s != RequestTable::kNull;
+       s = table.next(s)) {
+    const TableEntry& e = table.at(s);
+    if (e.arrival_seq >= seq_limit) break;
+    if (!oldest) oldest = s;
+    if (is_row_hit(banks, e.dram_addr)) return s;
   }
-  return oldest_hit ? oldest_hit : oldest;
+  return oldest;
 }
 
 }  // namespace
@@ -52,18 +47,7 @@ std::optional<std::size_t> FrfcfsScheduler::pick(const RequestTable& table,
                                                  std::size_t& scanned_entries) {
   scanned_entries = table.size();
   if (table.empty()) return std::nullopt;
-
-  std::optional<std::size_t> oldest_hit;
-  std::size_t oldest = 0;
-  for (std::size_t i = 0; i < table.size(); ++i) {
-    const TableEntry& e = table.at(i);
-    if (e.arrival_seq < table.at(oldest).arrival_seq) oldest = i;
-    if (is_row_hit(banks, e.dram_addr) &&
-        (!oldest_hit || e.arrival_seq < table.at(*oldest_hit).arrival_seq)) {
-      oldest_hit = i;
-    }
-  }
-  return oldest_hit ? *oldest_hit : oldest;
+  return frfcfs_pick_below(table, banks, kNoLimit);
 }
 
 BatchScheduler::BatchScheduler(std::size_t batch_size) : batch_size_(batch_size) {
@@ -82,11 +66,7 @@ std::optional<std::size_t> BatchScheduler::pick(const RequestTable& table,
   if (!in_batch) {
     // Current batch drained: the next batch covers the next batch_size_
     // arrivals starting from the oldest outstanding request.
-    std::uint64_t oldest_seq = kNoLimit;
-    for (std::size_t i = 0; i < table.size(); ++i) {
-      oldest_seq = std::min(oldest_seq, table.at(i).arrival_seq);
-    }
-    batch_boundary_ = oldest_seq + batch_size_;
+    batch_boundary_ = table.at(table.first()).arrival_seq + batch_size_;
     in_batch = frfcfs_pick_below(table, banks, batch_boundary_);
   }
   return in_batch;
@@ -108,11 +88,7 @@ std::optional<std::size_t> BlacklistScheduler::pick(const RequestTable& table,
     choice = frfcfs_pick_below(table, banks, kNoLimit);
   } else {
     // Blacklisted: break the streak with the oldest request.
-    std::size_t oldest = 0;
-    for (std::size_t i = 1; i < table.size(); ++i) {
-      if (table.at(i).arrival_seq < table.at(oldest).arrival_seq) oldest = i;
-    }
-    choice = oldest;
+    choice = table.first();
   }
 
   const std::uint64_t row_key = dram::row_key(table.at(*choice).dram_addr);

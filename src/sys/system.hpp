@@ -4,7 +4,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cpu/backend.hpp"
@@ -16,6 +15,7 @@
 #include "smc/easyapi.hpp"
 #include "smc/rowclone_map.hpp"
 #include "smc/trcd_profiler.hpp"
+#include "sys/completion.hpp"
 #include "tile/tile.hpp"
 #include "timescale/timekeeper.hpp"
 
@@ -181,6 +181,16 @@ class EasyDramSystem final : public cpu::MemoryBackend {
   void pump_until_fifo_has_room(std::uint32_t channel);
   /// One main-loop iteration of every channel's controller (round-robin).
   bool pump_once();
+  /// Pumps until `done()` holds. Every call gets its own full iteration
+  /// budget — callers that chain drain phases must not share one guard.
+  template <typename DonePred>
+  void pump_until(DonePred done, int budget = 100'000'000) {
+    int guard = 0;
+    while (!done()) {
+      pump_once();
+      EASYDRAM_EXPECTS(++guard < budget);
+    }
+  }
   void drain_outgoing();
   void account_cpu_progress(std::int64_t now);
   void rebuild_controllers();
@@ -195,7 +205,9 @@ class EasyDramSystem final : public cpu::MemoryBackend {
 
   std::uint64_t next_id_ = 1;
   std::int64_t last_cpu_cycle_ = 0;
-  std::unordered_map<std::uint64_t, tile::Response> completed_;
+  /// Responses drained from the tiles, keyed by the dense request id
+  /// stream (the core waits approximately in order; see CompletionRing).
+  CompletionRing completed_;
 };
 
 }  // namespace easydram::sys

@@ -56,6 +56,9 @@ class CycleMeter {
   /// Core cycles charged since construction or the last `take()`.
   std::int64_t total_cycles() const { return total_cycles_; }
 
+  /// Cycles charged but not yet taken by the system engine.
+  std::int64_t pending() const { return total_cycles_ - taken_; }
+
   /// Returns the cycles accumulated since the previous take() and resets
   /// the running delta. The system engine calls this to advance wall time.
   std::int64_t take() {

@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <vector>
 
 #include "common/contracts.hpp"
 
@@ -11,38 +11,60 @@ namespace easydram::tile {
 /// Pushing into a full FIFO is a contract violation: the producers in this
 /// repository (memory bus, tile control logic) check `full()` first, exactly
 /// as the hardware applies backpressure.
+///
+/// Storage is a fixed ring buffer sized once at construction — like the
+/// hardware queue it models, no allocation ever happens on push/pop. `T`
+/// must be default-constructible (the ring is built eagerly) and movable.
 template <typename T>
 class BoundedFifo {
  public:
-  explicit BoundedFifo(std::size_t capacity) : capacity_(capacity) {
+  explicit BoundedFifo(std::size_t capacity)
+      : capacity_(capacity), items_(capacity) {
     EASYDRAM_EXPECTS(capacity > 0);
   }
 
-  bool empty() const { return items_.empty(); }
-  bool full() const { return items_.size() >= capacity_; }
-  std::size_t size() const { return items_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+  std::size_t size() const { return size_; }
   std::size_t capacity() const { return capacity_; }
 
   void push(T item) {
     EASYDRAM_EXPECTS(!full());
-    items_.push_back(std::move(item));
+    std::size_t tail = head_ + size_;
+    if (tail >= capacity_) tail -= capacity_;
+    items_[tail] = std::move(item);
+    ++size_;
   }
 
   T pop() {
     EASYDRAM_EXPECTS(!empty());
-    T item = std::move(items_.front());
-    items_.pop_front();
+    T item = std::move(items_[head_]);
+    advance_head();
     return item;
+  }
+
+  /// Drops the head element without materializing a copy/move of it — for
+  /// consumers that already read what they need through front().
+  void drop() {
+    EASYDRAM_EXPECTS(!empty());
+    advance_head();
   }
 
   const T& front() const {
     EASYDRAM_EXPECTS(!empty());
-    return items_.front();
+    return items_[head_];
   }
 
  private:
+  void advance_head() {
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    --size_;
+  }
+
   std::size_t capacity_;
-  std::deque<T> items_;
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 }  // namespace easydram::tile

@@ -13,7 +13,22 @@ namespace easydram::workloads {
 /// operations; kernels override it per access where it matters.
 class TraceBuilder {
  public:
-  explicit TraceBuilder(std::uint32_t default_gap = 2) : default_gap_(default_gap) {}
+  explicit TraceBuilder(std::uint32_t default_gap = 2) : default_gap_(default_gap) {
+    if (pending_reserve_ != 0) {
+      records_.reserve(pending_reserve_);
+      pending_reserve_ = 0;
+    }
+  }
+
+  /// One-shot capacity hint consumed by the next TraceBuilder constructed
+  /// on this thread. Kernel generators are standalone functions that build
+  /// their own TraceBuilder, so a caller that knows the record count ahead
+  /// of time (generate_kernel's per-kernel table) passes it through here —
+  /// growing a multi-million-record vector by doubling otherwise re-copies
+  /// the whole trace several times over. Zero means no hint.
+  static void hint_next_reserve(std::size_t records) {
+    pending_reserve_ = records;
+  }
 
   void load(std::uint64_t addr) { push(cpu::Op::kLoad, addr, default_gap_); }
   void load(std::uint64_t addr, std::uint32_t gap) { push(cpu::Op::kLoad, addr, gap); }
@@ -50,6 +65,8 @@ class TraceBuilder {
     r.addr = addr;
     records_.push_back(r);
   }
+
+  inline static thread_local std::size_t pending_reserve_ = 0;
 
   std::uint32_t default_gap_;
   std::uint32_t pending_gap_ = 0;

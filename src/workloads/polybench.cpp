@@ -854,9 +854,57 @@ std::span<const PolybenchKernel> all_kernels() { return kKernels; }
 
 std::span<const std::string_view> fig13_names() { return kFig13Names; }
 
+std::size_t kernel_record_count(std::string_view name) {
+  // Exact trace lengths of every kernel (the generators are deterministic
+  // and parameterless). generate_kernel reserves this up front so the
+  // builder never re-copies the multi-million-record vector while growing;
+  // a test pins the table to the generators, so drift is a loud failure.
+  struct KernelRecordCount {
+    std::string_view name;
+    std::size_t records;
+  };
+  static constexpr KernelRecordCount kRecordCounts[] = {
+      {"correlation", 2491679},
+      {"covariance", 2491584},
+      {"2mm", 3566592},
+      {"3mm", 3091200},
+      {"atax", 3872880},
+      {"bicg", 3099360},
+      {"doitgen", 4829184},
+      {"mvt", 3243600},
+      {"gemm", 2847488},
+      {"gemver", 5127200},
+      {"gesummv", 1230080},
+      {"symm", 3531136},
+      {"syr2k", 3417960},
+      {"syrk", 3203200},
+      {"trmm", 2113536},
+      {"cholesky", 1016160},
+      {"durbin", 2238800},
+      {"gramschmidt", 5205660},
+      {"lu", 2021736},
+      {"ludcmp", 2063640},
+      {"trisolv", 811800},
+      {"adi", 1728144},
+      {"fdtd-2d", 2508612},
+      {"heat-3d", 3114752},
+      {"jacobi-1d", 3199936},
+      {"jacobi-2d", 3075936},
+      {"seidel-2d", 3168080},
+      {"floyd-warshall", 4000000},
+  };
+  for (const KernelRecordCount& c : kRecordCounts) {
+    if (c.name == name) return c.records;
+  }
+  return 0;
+}
+
 std::vector<cpu::TraceRecord> generate_kernel(std::string_view name) {
   for (const PolybenchKernel& k : kKernels) {
-    if (k.name == name) return k.generate();
+    if (k.name == name) {
+      TraceBuilder::hint_next_reserve(kernel_record_count(name));
+      return k.generate();
+    }
   }
   EASYDRAM_EXPECTS(!"unknown PolyBench kernel name");
   return {};

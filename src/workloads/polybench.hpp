@@ -31,4 +31,9 @@ std::span<const std::string_view> fig13_names();
 /// unknown names.
 std::vector<cpu::TraceRecord> generate_kernel(std::string_view name);
 
+/// Exact record count of `name`'s generated trace (0 for unknown names):
+/// the capacity generate_kernel pre-reserves. Pinned to the generators by
+/// a test so the table cannot silently drift.
+std::size_t kernel_record_count(std::string_view name);
+
 }  // namespace easydram::workloads

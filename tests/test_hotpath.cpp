@@ -1,0 +1,300 @@
+// Property tests for the host-performance hot-path structures: the
+// slot-based RequestTable must preserve FCFS/FR-FCFS pick order against a
+// reference vector implementation (the pre-overhaul design), the
+// ring-buffer BoundedFifo must match std::deque semantics under randomized
+// push/pop sequences, and the CompletionRing must behave like a map from
+// dense ids to completions.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "smc/request_table.hpp"
+#include "smc/scheduler.hpp"
+#include "sys/completion.hpp"
+#include "tile/fifo.hpp"
+
+namespace easydram {
+namespace {
+
+// --------------------------------------------------------------------------
+// RequestTable vs the reference vector implementation
+// --------------------------------------------------------------------------
+
+/// The pre-overhaul request table: a dense vector with shifting erase.
+/// Kept here as the behavioral reference the slot design must match.
+class VectorTable {
+ public:
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  void insert(smc::TableEntry e) {
+    e.arrival_seq = next_seq_++;
+    entries_.push_back(std::move(e));
+  }
+
+  const smc::TableEntry& at(std::size_t i) const { return entries_[i]; }
+
+  smc::TableEntry remove(std::size_t i) {
+    smc::TableEntry e = std::move(entries_[i]);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return e;
+  }
+
+ private:
+  std::uint64_t next_seq_ = 0;
+  std::vector<smc::TableEntry> entries_;
+};
+
+/// Reference FCFS pick (old implementation): dense index of the oldest.
+std::optional<std::size_t> ref_fcfs(const VectorTable& t) {
+  if (t.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (t.at(i).arrival_seq < t.at(best).arrival_seq) best = i;
+  }
+  return best;
+}
+
+/// Reference FR-FCFS pick (old implementation) over an open-row table.
+std::optional<std::size_t> ref_frfcfs(
+    const VectorTable& t,
+    const std::vector<std::optional<std::uint32_t>>& open_rows) {
+  if (t.empty()) return std::nullopt;
+  std::optional<std::size_t> oldest_hit;
+  std::size_t oldest = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const smc::TableEntry& e = t.at(i);
+    if (e.arrival_seq < t.at(oldest).arrival_seq) oldest = i;
+    const auto& open = open_rows[e.dram_addr.bank];
+    const bool hit = open.has_value() && *open == e.dram_addr.row;
+    if (hit && (!oldest_hit ||
+                e.arrival_seq < t.at(*oldest_hit).arrival_seq)) {
+      oldest_hit = i;
+    }
+  }
+  return oldest_hit ? oldest_hit : oldest;
+}
+
+/// BankStateView over a plain open-row vector (per-rank bank index).
+struct TableBanks final : smc::BankStateView {
+  std::optional<std::uint32_t> open_row(
+      const dram::DramAddress& a) const override {
+    return rows[a.bank];
+  }
+  std::vector<std::optional<std::uint32_t>> rows;
+};
+
+smc::TableEntry random_entry(SplitMix64& rng) {
+  smc::TableEntry e;
+  e.dram_addr.bank = static_cast<std::uint32_t>(rng.next() % 4);
+  e.dram_addr.row = static_cast<std::uint32_t>(rng.next() % 8);
+  e.request.id = rng.next();
+  return e;
+}
+
+/// Drives the slot table and the vector reference through an identical
+/// randomized insert / pick+remove schedule and requires every pick to
+/// name the same entry (same arrival_seq → same request), for both
+/// schedulers and random bank states.
+TEST(HotPathPropertyTest, SlotTablePreservesPickOrder) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SplitMix64 rng(seed);
+    smc::RequestTable table(32);
+    VectorTable ref;
+    TableBanks banks;
+    banks.rows.assign(4, std::nullopt);
+    smc::FcfsScheduler fcfs;
+    smc::FrfcfsScheduler frfcfs;
+    const bool use_frfcfs = seed % 2 == 0;
+
+    for (int step = 0; step < 400; ++step) {
+      // Shuffle the open rows now and then.
+      if (rng.next() % 8 == 0) {
+        for (auto& r : banks.rows) {
+          r = rng.next() % 2 ? std::optional<std::uint32_t>(
+                                   static_cast<std::uint32_t>(rng.next() % 8))
+                             : std::nullopt;
+        }
+      }
+
+      const bool do_insert =
+          !table.full() && (table.empty() || rng.next() % 3 != 0);
+      if (do_insert) {
+        smc::TableEntry e = random_entry(rng);
+        ref.insert(e);  // Stamps its own (identical) arrival_seq.
+        table.insert(std::move(e));
+        continue;
+      }
+
+      std::size_t scanned = 0;
+      const auto pick = use_frfcfs ? frfcfs.pick(table, banks, scanned)
+                                   : fcfs.pick(table, banks, scanned);
+      const auto ref_pick =
+          use_frfcfs ? ref_frfcfs(ref, banks.rows) : ref_fcfs(ref);
+      ASSERT_EQ(pick.has_value(), ref_pick.has_value());
+      ASSERT_EQ(scanned, table.size());
+      if (!pick) continue;
+      const smc::TableEntry got = table.remove(*pick);
+      const smc::TableEntry want = ref.remove(*ref_pick);
+      ASSERT_EQ(got.arrival_seq, want.arrival_seq);
+      ASSERT_EQ(got.request.id, want.request.id);
+    }
+  }
+}
+
+TEST(HotPathPropertyTest, SlotTableTraversalIsArrivalOrdered) {
+  SplitMix64 rng(7);
+  smc::RequestTable table(16);
+  // Interleave inserts and removals so slots recycle out of order.
+  for (int step = 0; step < 200; ++step) {
+    if (!table.full() && rng.next() % 3 != 0) {
+      table.insert(random_entry(rng));
+    } else if (!table.empty()) {
+      // Remove a random occupied slot (walk a random number of links).
+      std::size_t slot = table.first();
+      const std::size_t hops = rng.next() % table.size();
+      for (std::size_t i = 0; i < hops; ++i) slot = table.next(slot);
+      table.remove(slot);
+    }
+    std::uint64_t prev_seq = 0;
+    bool first = true;
+    std::size_t count = 0;
+    for (std::size_t s = table.first(); s != smc::RequestTable::kNull;
+         s = table.next(s)) {
+      if (!first) EXPECT_GT(table.at(s).arrival_seq, prev_seq);
+      prev_seq = table.at(s).arrival_seq;
+      first = false;
+      ++count;
+    }
+    EXPECT_EQ(count, table.size());
+  }
+}
+
+// --------------------------------------------------------------------------
+// Ring-buffer BoundedFifo vs std::deque
+// --------------------------------------------------------------------------
+
+TEST(HotPathPropertyTest, RingFifoMatchesDequeSemantics) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SplitMix64 rng(seed ^ 0xF1F0);
+    const std::size_t capacity = 1 + rng.next() % 33;
+    tile::BoundedFifo<std::uint64_t> fifo(capacity);
+    std::deque<std::uint64_t> ref;
+
+    for (int step = 0; step < 2000; ++step) {
+      EXPECT_EQ(fifo.size(), ref.size());
+      EXPECT_EQ(fifo.empty(), ref.empty());
+      EXPECT_EQ(fifo.full(), ref.size() >= capacity);
+      if (!ref.empty()) EXPECT_EQ(fifo.front(), ref.front());
+
+      switch (rng.next() % 3) {
+        case 0:
+          if (!fifo.full()) {
+            const std::uint64_t v = rng.next();
+            fifo.push(v);
+            ref.push_back(v);
+          }
+          break;
+        case 1:
+          if (!fifo.empty()) {
+            EXPECT_EQ(fifo.pop(), ref.front());
+            ref.pop_front();
+          }
+          break;
+        default:
+          if (!fifo.empty()) {
+            fifo.drop();
+            ref.pop_front();
+          }
+          break;
+      }
+    }
+  }
+}
+
+TEST(HotPathPropertyTest, RingFifoContractsStillEnforced) {
+  tile::BoundedFifo<int> f(2);
+  EXPECT_THROW(f.pop(), ContractViolation);
+  EXPECT_THROW(f.drop(), ContractViolation);
+  f.push(1);
+  f.push(2);
+  EXPECT_THROW(f.push(3), ContractViolation);
+}
+
+// --------------------------------------------------------------------------
+// CompletionRing
+// --------------------------------------------------------------------------
+
+TEST(CompletionRingTest, InOrderPutAndConsume) {
+  sys::CompletionRing ring;
+  for (std::uint64_t id = 1; id <= 1000; ++id) {
+    EXPECT_FALSE(ring.ready(id));
+    ring.put(id, static_cast<std::int64_t>(id * 10), id % 2 == 0);
+    ASSERT_TRUE(ring.ready(id));
+    EXPECT_EQ(ring.release_proc_cycle(id), static_cast<std::int64_t>(id * 10));
+    EXPECT_EQ(ring.ok(id), id % 2 == 0);
+    ring.consume(id);
+    EXPECT_FALSE(ring.ready(id));
+  }
+  EXPECT_EQ(ring.window(), 0u);  // Fully reclaimed: no growth leak.
+}
+
+TEST(CompletionRingTest, OutOfOrderConsumeReclaimsOnCatchUp) {
+  sys::CompletionRing ring;
+  for (std::uint64_t id = 1; id <= 8; ++id) ring.put(id, 0, true);
+  // Consume everything but the head: the window cannot shrink yet.
+  for (std::uint64_t id = 2; id <= 8; ++id) ring.consume(id);
+  EXPECT_EQ(ring.window(), 8u);
+  EXPECT_TRUE(ring.ready(1));
+  ring.consume(1);  // Head consumed: the whole consumed prefix collapses.
+  EXPECT_EQ(ring.window(), 0u);
+  ring.put(9, 99, false);
+  EXPECT_TRUE(ring.ready(9));
+}
+
+TEST(CompletionRingTest, GrowsPastInitialCapacityAndWraps) {
+  sys::CompletionRing ring;
+  SplitMix64 rng(11);
+  std::uint64_t next_put = 1;
+  std::uint64_t next_take = 1;
+  // Random window churn with a window often larger than the initial
+  // capacity, forcing both growth and head wraparound.
+  for (int step = 0; step < 5000; ++step) {
+    if (next_take == next_put || rng.next() % 2 == 0) {
+      ring.put(next_put, static_cast<std::int64_t>(next_put), true);
+      ++next_put;
+    } else {
+      ASSERT_TRUE(ring.ready(next_take));
+      EXPECT_EQ(ring.release_proc_cycle(next_take),
+                static_cast<std::int64_t>(next_take));
+      ring.consume(next_take);
+      ++next_take;
+    }
+  }
+}
+
+TEST(CompletionRingTest, ClearDiscardsWindow) {
+  sys::CompletionRing ring;
+  for (std::uint64_t id = 1; id <= 5; ++id) ring.put(id, 7, true);
+  ring.consume(2);
+  ring.clear();
+  EXPECT_EQ(ring.window(), 0u);
+  for (std::uint64_t id = 1; id <= 5; ++id) EXPECT_FALSE(ring.ready(id));
+  // Ids continue densely after the cleared window.
+  ring.put(6, 1, true);
+  EXPECT_TRUE(ring.ready(6));
+  EXPECT_THROW(ring.put(3, 1, true), ContractViolation);
+}
+
+TEST(CompletionRingTest, DoublePutRejected) {
+  sys::CompletionRing ring;
+  ring.put(1, 0, true);
+  EXPECT_THROW(ring.put(1, 0, true), ContractViolation);
+}
+
+}  // namespace
+}  // namespace easydram

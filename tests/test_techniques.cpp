@@ -146,6 +146,32 @@ TEST(RowCloneMapTest, UnknownPairsAreNotClonable) {
   EXPECT_EQ(map.known(0, 9, 9), std::nullopt);
 }
 
+TEST(RowCloneMapTest, LargeRowIndicesNeverAlias) {
+  // Regression: the old `src << 24 | dst` key packing let row indices
+  // >= 2^24 bleed into each other and into the bank field, so distinct
+  // pairs shared one verdict. The key must carry all 96 bits.
+  RowCloneMap map;
+  const std::uint32_t big = 1u << 24;
+
+  map.record(/*bank=*/0, /*src=*/0, /*dst=*/big + 5, true);
+  // Under the old packing, dst bits >= 24 aliased src bits: (0, 1, 5)
+  // collided with (0, 0, 2^24 + 5).
+  EXPECT_EQ(map.known(0, 1, 5), std::nullopt);
+  EXPECT_TRUE(map.clonable(0, 0, big + 5));
+
+  map.record(/*bank=*/0, /*src=*/big, /*dst=*/0, true);
+  // Under the old packing, src bits >= 24 aliased the bank field: bank
+  // (2^24 >> 24) == 1 with src 0 collided.
+  EXPECT_EQ(map.known(1, 0, 0), std::nullopt);
+
+  // Full-width distinct triples all coexist.
+  map.record(7, 0xFFFFFFFF, 0xFFFFFFFE, true);
+  map.record(7, 0xFFFFFFFE, 0xFFFFFFFF, false);
+  EXPECT_TRUE(map.clonable(7, 0xFFFFFFFF, 0xFFFFFFFE));
+  EXPECT_FALSE(map.clonable(7, 0xFFFFFFFE, 0xFFFFFFFF));
+  EXPECT_EQ(map.size(), 4u);
+}
+
 TEST(RowCloneAllocatorTest, CopyPairsShareSubarray) {
   Harness h;
   RowCloneMap map;

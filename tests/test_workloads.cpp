@@ -265,5 +265,19 @@ TEST(CopyInitTest, MeasuredRegionBoundedByTwoMarkers) {
   EXPECT_EQ(recs.back().op, cpu::Op::kMarker);
 }
 
+TEST(PolybenchTest, RecordCountTableMatchesGenerators) {
+  // The per-kernel record counts drive generate_kernel's up-front reserve;
+  // a stale entry would mean silent re-copying (too small) or a misleading
+  // table (too large). Pin every kernel.
+  for (const PolybenchKernel& k : all_kernels()) {
+    const std::size_t expected = kernel_record_count(k.name);
+    EXPECT_GT(expected, 0u) << k.name << " missing from the count table";
+    const auto records = generate_kernel(k.name);
+    EXPECT_EQ(records.size(), expected) << k.name;
+    EXPECT_EQ(records.capacity(), expected) << k.name << " reserve not applied";
+  }
+  EXPECT_EQ(kernel_record_count("no-such-kernel"), 0u);
+}
+
 }  // namespace
 }  // namespace easydram::workloads
