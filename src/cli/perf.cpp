@@ -104,6 +104,10 @@ std::int64_t channel_scaling_bench(const PerfOptions& opts) {
   return scenario_bench("channel_scaling", opts, 8);
 }
 
+std::int64_t mitigation_overhead_bench(const PerfOptions& opts) {
+  return scenario_bench("mitigation_overhead", opts, 1);
+}
+
 struct PerfBench {
   std::string_view name;
   std::string_view summary;
@@ -124,6 +128,9 @@ constexpr PerfBench kBenches[] = {
      &fig14_bench},
     {"channel_scaling",
      "Full channel_scaling scenario at >= 8 channels", &channel_scaling_bench},
+    {"mitigation_overhead",
+     "Full mitigation_overhead scenario (hammer + blend under PARA/Graphene)",
+     &mitigation_overhead_bench},
 };
 
 double now_seconds() {

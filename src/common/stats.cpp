@@ -21,6 +21,9 @@ void Summary::add(double x) {
 double Summary::mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
 
 double geomean(std::span<const double> xs, GeomeanPolicy policy) {
+  if (xs.empty() && policy == GeomeanPolicy::kThrow) {
+    throw StatsError("geomean: empty input");
+  }
   double log_sum = 0.0;
   std::size_t used = 0;
   for (double x : xs) {
@@ -38,13 +41,14 @@ double geomean(std::span<const double> xs, GeomeanPolicy policy) {
 }
 
 double mean(std::span<const double> xs) {
-  if (xs.empty()) return 0.0;
+  if (xs.empty()) throw StatsError("mean: empty input");
   double sum = 0.0;
   for (double x : xs) sum += x;
   return sum / static_cast<double>(xs.size());
 }
 
 double stddev(std::span<const double> xs) {
+  if (xs.empty()) throw StatsError("stddev: empty input");
   if (xs.size() < 2) return 0.0;
   const double m = mean(xs);
   double sq = 0.0;
@@ -53,7 +57,7 @@ double stddev(std::span<const double> xs) {
 }
 
 double percentile(std::span<const double> xs, double pct) {
-  if (xs.empty()) return 0.0;
+  if (xs.empty()) throw StatsError("percentile: empty input");
   EASYDRAM_EXPECTS(pct >= 0.0 && pct <= 100.0);
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());

@@ -41,20 +41,29 @@ enum class GeomeanPolicy {
   kSkipNonPositive,
 };
 
-/// Geometric mean of positive samples. Returns 0 for an empty span (or, under
-/// kSkipNonPositive, when no positive sample remains).
+// Empty-input policy, uniform across the free aggregation functions: an
+// empty span throws StatsError. A statistic of nothing is not 0.0, and the
+// old silent-zero behaviour let an accidentally empty sweep masquerade as
+// a measured result. (Summary, the *streaming* accumulator, keeps its
+// explicit count() so callers branch on emptiness themselves.)
+
+/// Geometric mean of positive samples. Under kSkipNonPositive, non-positive
+/// samples are skipped and 0 is returned when nothing (or nothing positive)
+/// remains; under kThrow, an empty span or any non-positive sample throws.
 double geomean(std::span<const double> xs,
                GeomeanPolicy policy = GeomeanPolicy::kThrow);
 
-/// Arithmetic mean. Returns 0 for an empty span.
+/// Arithmetic mean. Throws StatsError for an empty span.
 double mean(std::span<const double> xs);
 
-/// Sample standard deviation (n-1 denominator). Returns 0 for spans with
-/// fewer than two elements.
+/// Sample standard deviation (n-1 denominator). Throws StatsError for an
+/// empty span; returns 0 for a single sample (the undefined n-1 case is
+/// pinned to 0 so single-repetition runs report a spread of "none").
 double stddev(std::span<const double> xs);
 
 /// Percentile in [0, 100] by linear interpolation between closest ranks.
-/// Returns 0 for an empty span; the single element for a one-element span.
+/// Throws StatsError for an empty span; the single element for a
+/// one-element span.
 double percentile(std::span<const double> xs, double pct);
 
 /// Median (50th percentile).

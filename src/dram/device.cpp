@@ -124,9 +124,13 @@ Picoseconds DramDevice::earliest_rdwr(const DramAddress& a, bool is_write) const
   const BankState& b = banks_[flat(a)];
   const RankState& r = ranks_[a.rank];
   const std::uint32_t group = geo_.bank_group_of(a.bank);
+  // ref_busy_until: column commands are as illegal during tRFC as ACTs —
+  // the rank's internal refresh owns every bank. Nominal schedules never
+  // hit this bound (post-refresh reads must re-ACT first, which already
+  // waits), but it keeps earliest_legal honest for direct column probes.
   Picoseconds t = max_ps({b.act_time + timing_.tRCD,
                           r.last_col_in_group[group] + timing_.tCCD_L,
-                          r.last_col_any + timing_.tCCD_S});
+                          r.last_col_any + timing_.tCCD_S, r.ref_busy_until});
   if (!is_write) {
     t = max_ps({t, r.wr_data_end_in_group[group] + timing_.tWTR_L,
                 r.last_wr_data_end_any + timing_.tWTR_S,
@@ -258,6 +262,7 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
       r.last_act_any = at;
       r.act_window.push_back(at);
       while (r.act_window.size() > 4) r.act_window.pop_front();
+      if (hammer_tracking_) note_hammer_act(fbank, a.row);
       return res;
     }
 
@@ -321,6 +326,7 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
       if (at < r.last_col_any + timing_.tCCD_S) res.violations |= kTccd;
       if (at < r.wr_data_end_in_group[group] + timing_.tWTR_L) res.violations |= kTwtr;
       if (at < r.last_wr_data_end_any + timing_.tWTR_S) res.violations |= kTwtr;
+      if (at < r.ref_busy_until) res.violations |= kTrfc;
       if (at + timing_.tCL < bus_free_for(a.rank)) res.violations |= kBusConflict;
 
       const Picoseconds effective_trcd = at - b.act_time;
@@ -363,6 +369,7 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
       if (at < r.last_col_in_group[group] + timing_.tCCD_L) res.violations |= kTccd;
       if (at < r.last_col_any + timing_.tCCD_S) res.violations |= kTccd;
       if (at - b.act_time < timing_.tRCD) res.violations |= kTrcd;
+      if (at < r.ref_busy_until) res.violations |= kTrfc;
       if (at + timing_.tCWL < bus_free_for(a.rank)) res.violations |= kBusConflict;
 
       RowData& rd = row_data(fbank, a.row);
@@ -382,12 +389,27 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
     case Command::kRef: {
       RankState& r = ranks_[a.rank];
       for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
-        const BankState& b = banks_[geo_.flat_bank(a.rank, bank)];
+        BankState& b = banks_[geo_.flat_bank(a.rank, bank)];
         if (b.active) res.violations |= kRefreshNotIdle;
         if (at < b.pre_time + timing_.tRP) res.violations |= kTrp;
+        // Post-refresh bank state is explicit: the internal refresh takes
+        // over every bank of the rank, so each one leaves the tRFC window
+        // precharged regardless of what it held before (a REF issued over
+        // an open row is still flagged above, but cannot leave the model
+        // half-open). pre_time lands tRP before the window closes, so
+        // earliest ACT == ref_busy_until exactly as without this clamp.
+        b.active = false;
+        b.early_pre_pending = false;
+        b.pre_time = at + timing_.tRFC - timing_.tRP;
       }
+      // The refresh's internal activations dominate any recent host ACTs
+      // (tRFC >> tFAW): post-refresh tFAW accounting starts from a clean
+      // window, so a mitigator-injected REF can never inherit stale
+      // entries that mis-flag (or mis-delay) its follow-up activations.
+      r.act_window.clear();
       if (at < r.ref_busy_until) res.violations |= kTrfc;
       r.ref_busy_until = at + timing_.tRFC;
+      if (hammer_tracking_) note_hammer_refresh(a.rank, r.refreshes_issued);
       ++r.refreshes_issued;
       return res;
     }
@@ -429,6 +451,54 @@ void DramDevice::backdoor_write_row(std::uint32_t bank, std::uint32_t row,
 
 std::int64_t DramDevice::commands_issued(Command c) const {
   return cmd_counts_[static_cast<std::size_t>(c)];
+}
+
+void DramDevice::set_hammer_tracking(bool on) {
+  hammer_tracking_ = on;
+  hammer_counts_.assign(on ? geo_.banks_per_channel() : 0, {});
+  hammer_max_exposure_ = 0;
+}
+
+std::int64_t DramDevice::hammer_count(std::uint32_t bank, std::uint32_t row,
+                                      std::uint32_t rank) const {
+  EASYDRAM_EXPECTS(rank < ranks_.size() && bank < geo_.num_banks() &&
+                   row < geo_.rows_per_bank);
+  if (!hammer_tracking_) return 0;
+  const auto& counts = hammer_counts_[geo_.flat_bank(rank, bank)];
+  const auto it = counts.find(row);
+  return it == counts.end() ? 0 : it->second;
+}
+
+void DramDevice::note_hammer_act(std::uint32_t fbank, std::uint32_t row) {
+  auto& counts = hammer_counts_[fbank];
+  // Opening a row fully restores its cells: the activated row stops being
+  // a victim of its neighbors' earlier activity.
+  counts.erase(row);
+  const Geometry::NeighborRows n = geo_.neighbor_rows(row);
+  for (std::uint32_t i = 0; i < n.count; ++i) {
+    const std::int64_t c = ++counts[n.rows[i]];
+    hammer_max_exposure_ = std::max(hammer_max_exposure_, c);
+  }
+}
+
+void DramDevice::note_hammer_refresh(std::uint32_t rank, std::int64_t ref_index) {
+  // REF number n refreshes one rows_per_bank/8192 stripe of every bank in
+  // the rank (round-robin over the retention window), so only runs long
+  // enough to genuinely re-visit a row ever reset its victim counter this
+  // way — short runs keep accumulating, exactly like real tREFW exposure.
+  const auto stripe_rows = static_cast<std::uint32_t>(
+      (geo_.rows_per_bank + kRefsPerRetentionWindow - 1) /
+      kRefsPerRetentionWindow);
+  const auto stripe =
+      static_cast<std::uint32_t>(ref_index % kRefsPerRetentionWindow);
+  const std::uint32_t first = stripe * stripe_rows;
+  for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
+    auto& counts = hammer_counts_[geo_.flat_bank(rank, bank)];
+    for (std::uint32_t row = first;
+         row < std::min(first + stripe_rows, geo_.rows_per_bank); ++row) {
+      counts.erase(row);
+    }
+  }
 }
 
 }  // namespace easydram::dram

@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -15,6 +16,13 @@
 #include "dram/variation.hpp"
 
 namespace easydram::dram {
+
+/// REF commands per retention window (JESD79-4: 8192 auto-refresh commands
+/// cover the whole array every tREFW = 64 ms). Each REF therefore refreshes
+/// a rows_per_bank/8192 stripe of every bank; the RowHammer exposure
+/// accounting and the Graphene-style tracker both key their reset schedule
+/// off this constant.
+inline constexpr std::int64_t kRefsPerRetentionWindow = 8192;
 
 /// Nominal-timing violations detected when a command is issued. DRAM
 /// techniques violate timings *on purpose*, so a violation never rejects a
@@ -127,6 +135,28 @@ class DramDevice {
   /// Statistics: total commands issued per command kind.
   std::int64_t commands_issued(Command c) const;
 
+  // --- RowHammer exposure accounting ---------------------------------------
+  //
+  // Ground-truth disturbance bookkeeping, independent of any mitigation
+  // policy running in the controller: every ACT of row R charges one
+  // disturbance to each physically adjacent row (Geometry::neighbor_rows);
+  // a victim's counter resets when the victim itself is activated (any ACT
+  // restores the row, including a mitigator's targeted neighbor refresh)
+  // or when a periodic REF's stripe reaches it (REF number n refreshes the
+  // n-mod-8192-th rows_per_bank/8192-row stripe of every bank in the
+  // rank). The *bitflip-window exposure* is the maximum counter value any
+  // victim ever reached — the quantity a RowHammer threshold would be
+  // compared against. Off by default (zero hot-path cost beyond a branch).
+
+  void set_hammer_tracking(bool on);
+  bool hammer_tracking() const { return hammer_tracking_; }
+  /// Max disturbance count any victim row reached between two refreshes of
+  /// that row, over the whole run so far.
+  std::int64_t max_hammer_exposure() const { return hammer_max_exposure_; }
+  /// Current (not yet refresh-reset) disturbance count of one row.
+  std::int64_t hammer_count(std::uint32_t bank, std::uint32_t row,
+                            std::uint32_t rank = 0) const;
+
  private:
   struct BankState {
     bool active = false;
@@ -179,6 +209,10 @@ class DramDevice {
   Picoseconds earliest_rdwr(const DramAddress& a, bool is_write) const;
   Picoseconds earliest_pre(const DramAddress& a) const;
 
+  /// RowHammer accounting hooks (no-ops unless tracking is enabled).
+  void note_hammer_act(std::uint32_t fbank, std::uint32_t row);
+  void note_hammer_refresh(std::uint32_t rank, std::int64_t ref_index);
+
   Geometry geo_;
   TimingParams timing_;
   VariationModel variation_;
@@ -195,6 +229,12 @@ class DramDevice {
 
   Picoseconds now_;
   std::array<std::int64_t, 7> cmd_counts_{};
+
+  // RowHammer exposure accounting (sparse: only disturbed rows hold a
+  // counter). Indexed by flat (rank, bank); empty while tracking is off.
+  bool hammer_tracking_ = false;
+  std::vector<std::unordered_map<std::uint32_t, std::int64_t>> hammer_counts_;
+  std::int64_t hammer_max_exposure_ = 0;
 };
 
 }  // namespace easydram::dram

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/contracts.hpp"
@@ -62,6 +63,24 @@ struct Geometry {
   }
   constexpr bool same_subarray(std::uint32_t row_a, std::uint32_t row_b) const {
     return subarray_of(row_a) == subarray_of(row_b);
+  }
+
+  /// Physically adjacent rows of `row` inside its subarray: the RowHammer
+  /// victim set of an aggressor (and, symmetrically, the rows a targeted
+  /// neighbor refresh must touch). Subarray edges have one neighbor — the
+  /// sense-amplifier stripe between subarrays isolates the wordline
+  /// coupling, so adjacency never crosses a subarray boundary.
+  struct NeighborRows {
+    std::array<std::uint32_t, 2> rows{};
+    std::uint32_t count = 0;
+  };
+  constexpr NeighborRows neighbor_rows(std::uint32_t row) const {
+    NeighborRows n;
+    if (row > 0 && same_subarray(row - 1, row)) n.rows[n.count++] = row - 1;
+    if (row + 1 < rows_per_bank && same_subarray(row, row + 1)) {
+      n.rows[n.count++] = row + 1;
+    }
+    return n;
   }
 
   /// Flattens (rank, bank-in-rank) to a per-channel bank index; the

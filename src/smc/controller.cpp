@@ -57,7 +57,34 @@ bool MemoryController::step(EasyApi& api) {
   api.note_service_start(entry.request.issue_proc_cycle);
   api.refresh_if_due();
   serve(api, std::move(entry));
+  flush_mitigation(api);
   return true;
+}
+
+void MemoryController::on_act(const dram::DramAddress& a) {
+  if (options_.mitigator == nullptr || injecting_mitigation_) return;
+  options_.mitigator->on_activate(a, pending_victims_);
+}
+
+void MemoryController::on_refresh(std::uint32_t rank) {
+  if (options_.mitigator != nullptr) options_.mitigator->on_refresh(rank);
+}
+
+void MemoryController::flush_mitigation(EasyApi& api) {
+  if (pending_victims_.empty()) return;
+  injecting_mitigation_ = true;
+  // Targeted neighbor refresh: open the victim row long enough for a full
+  // restore, then close it. Built and charged like any other batch — the
+  // program construction and DRAM occupancy ARE the mitigation overhead.
+  for (const dram::DramAddress& v : pending_victims_) {
+    api.close_row(v.bank, v.rank);
+    api.ddr_activate(v.bank, v.row, v.rank);
+    api.ddr_wait(api.timing().tRAS);
+    api.ddr_precharge(v.bank, v.rank);
+  }
+  api.flush_commands();
+  pending_victims_.clear();
+  injecting_mitigation_ = false;
 }
 
 void MemoryController::serve(EasyApi& api, TableEntry entry) {

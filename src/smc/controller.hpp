@@ -3,8 +3,11 @@
 #include <cstdint>
 #include <memory>
 
+#include <vector>
+
 #include "smc/bloom.hpp"
 #include "smc/easyapi.hpp"
+#include "smc/mitigation/mitigator.hpp"
 #include "smc/request_table.hpp"
 #include "smc/rowclone_map.hpp"
 #include "smc/scheduler.hpp"
@@ -48,12 +51,22 @@ struct ControllerOptions {
   /// controller streams writes and row-hit reads; without it every request
   /// would pay the full software-loop latency.
   std::size_t row_batch_limit = 16;
+
+  /// RowHammer mitigation policy (null = unmitigated). Non-owning: the
+  /// policy must outlive the controller. The system layer owns one
+  /// instance per channel precisely so policy state (Graphene tables,
+  /// PARA's RNG position) and accumulated stats survive controller
+  /// rebuilds (enable_rowclone, install_weak_row_filter). The controller
+  /// feeds it every demand ACT (wire the controller as the EasyApi's
+  /// ActSink) and injects the targeted neighbor refreshes it requests as
+  /// charged Bender batches right after the triggering request's batch.
+  mitigation::RowHammerMitigator* mitigator = nullptr;
 };
 
 /// The reference software memory controller shipped with EasyDRAM: request
 /// transfer, FR-FCFS/FCFS scheduling, open-page policy, refresh
 /// maintenance, and the RowClone / reduced-tRCD / profiling request paths.
-class MemoryController final : public Controller {
+class MemoryController final : public Controller, public ActSink {
  public:
   explicit MemoryController(ControllerOptions options);
 
@@ -62,7 +75,22 @@ class MemoryController final : public Controller {
 
   const RequestTable& table() const { return table_; }
 
+  /// Installed mitigation policy, if any (owned by the caller; the
+  /// system layer aggregates its stats across channels).
+  const mitigation::RowHammerMitigator* mitigator() const {
+    return options_.mitigator;
+  }
+
+  /// ActSink: observes this controller's own command stream. Demand ACTs
+  /// feed the mitigation policy; the victim refreshes the policy requests
+  /// are collected here and injected by the next flush_mitigation().
+  void on_act(const dram::DramAddress& a) override;
+  void on_refresh(std::uint32_t rank) override;
+
  private:
+  /// Injects one targeted-refresh program per collected victim row and
+  /// flushes it (charged — mitigation work delays real requests).
+  void flush_mitigation(EasyApi& api);
   void serve(EasyApi& api, TableEntry entry);
   /// Serves `first` plus every same-row column request drained with it.
   void serve_column_batch(EasyApi& api, TableEntry first);
@@ -79,6 +107,13 @@ class MemoryController final : public Controller {
   /// Scratch for serve_column_batch, reused across batches so the hot
   /// path never allocates.
   std::vector<TableEntry> batch_scratch_;
+
+  /// Victim rows the mitigator asked to refresh, pending injection.
+  std::vector<dram::DramAddress> pending_victims_;
+  /// True while the injected refresh batch itself is being built: its
+  /// ACTs must not re-enter the policy (the device's ground-truth exposure
+  /// accounting still sees them and resets the victims' counters).
+  bool injecting_mitigation_ = false;
 };
 
 /// The minimal Listing-1 controller: serves read requests one at a time,

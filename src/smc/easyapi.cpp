@@ -111,9 +111,10 @@ dram::DramAddress EasyApi::get_addr_mapping(std::uint64_t paddr) {
 void EasyApi::ddr_activate(std::uint32_t bank, std::uint32_t row,
                            std::uint32_t rank) {
   charge_service(tile_->meter().costs().command_push);
-  program_.ddr(dram::Command::kAct,
-               dram::DramAddress{bank, row, 0, channel_, rank});
+  const dram::DramAddress a{bank, row, 0, channel_, rank};
+  program_.ddr(dram::Command::kAct, a);
   set_pending_row(bank, rank, row);
+  if (act_sink_ != nullptr && !setup_mode_) act_sink_->on_act(a);
 }
 
 void EasyApi::ddr_precharge(std::uint32_t bank, std::uint32_t rank) {
@@ -137,13 +138,17 @@ void EasyApi::ddr_write(const dram::DramAddress& a,
 void EasyApi::ddr_refresh(std::uint32_t rank) {
   charge_service(tile_->meter().costs().command_push);
   program_.ddr(dram::Command::kRef, dram::DramAddress{0, 0, 0, channel_, rank});
+  if (act_sink_ != nullptr) act_sink_->on_refresh(rank);
 }
 
 void EasyApi::ddr_exact(dram::Command cmd, const dram::DramAddress& a,
                         Picoseconds gap, bool capture) {
   charge_service(tile_->meter().costs().command_push);
   program_.ddr_exact(cmd, a, gap, capture);
-  if (cmd == dram::Command::kAct) set_pending_row(a.bank, a.rank, a.row);
+  if (cmd == dram::Command::kAct) {
+    set_pending_row(a.bank, a.rank, a.row);
+    if (act_sink_ != nullptr && !setup_mode_) act_sink_->on_act(a);
+  }
   if (cmd == dram::Command::kPre) set_pending_row(a.bank, a.rank, std::nullopt);
 }
 

@@ -30,6 +30,23 @@ struct ApiStats {
   Picoseconds dram_busy{};
 };
 
+/// Observer of the DDR command stream an EasyApi instance builds. The
+/// RowHammer mitigation path hangs off this: the controller registers
+/// itself as the sink, sees every ACT the batch builder queues (plus every
+/// periodic REF), and injects targeted neighbor refreshes in response.
+/// Setup-mode batches (characterization, catch-up refreshes) never fire
+/// `on_act` — offline phases are not demand traffic. `on_refresh` fires
+/// for every queued REF, charged or not, because refresh-window bookkeeping
+/// tracks the device's real refresh sequence.
+class ActSink {
+ public:
+  virtual void on_act(const dram::DramAddress& a) = 0;
+  virtual void on_refresh(std::uint32_t rank) = 0;
+
+ protected:
+  ~ActSink() = default;  ///< Never owned/deleted through the interface.
+};
+
 /// EasyAPI (§5.2, Table 2): the high-level C++ interface software memory
 /// controllers program against. It wraps the tile's hardware FIFOs, the
 /// DRAM Bender command buffer, the readback buffer, and the time-scaling
@@ -87,6 +104,10 @@ class EasyApi final : public BankStateView {
   void charge_overlapped(std::int64_t core_cycles) {
     charge_background(core_cycles);
   }
+
+  /// Registers (or clears, with nullptr) the command-stream observer. The
+  /// sink must outlive this EasyApi or be cleared before destruction.
+  void set_act_sink(ActSink* sink) { act_sink_ = sink; }
 
   /// Setup mode: API calls cost nothing on any timeline and batches execute
   /// uncharged. Used by offline phases the paper performs before emulation
@@ -220,6 +241,7 @@ class EasyApi final : public BankStateView {
   std::vector<std::optional<std::optional<std::uint32_t>>> pending_row_;
 
   bool setup_mode_ = false;
+  ActSink* act_sink_ = nullptr;
   ApiStats stats_;
 };
 

@@ -1,0 +1,102 @@
+#include "smc/mitigation/graphene.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "dram/device.hpp"
+
+namespace easydram::smc::mitigation {
+
+GrapheneMitigator::GrapheneMitigator(const MitigationConfig& cfg,
+                                     const dram::Geometry& geo)
+    : geo_(geo),
+      threshold_(cfg.graphene_threshold),
+      table_rows_(cfg.graphene_table_rows),
+      tables_(geo.banks_per_channel()),
+      refs_seen_(geo.ranks_per_channel, 0) {
+  EASYDRAM_EXPECTS(threshold_ > 0);
+  EASYDRAM_EXPECTS(table_rows_ > 0);
+}
+
+void GrapheneMitigator::trigger(Entry& entry, const dram::DramAddress& a,
+                                std::vector<dram::DramAddress>& victims) {
+  const dram::Geometry::NeighborRows n = geo_.neighbor_rows(entry.row);
+  for (std::uint32_t i = 0; i < n.count; ++i) {
+    dram::DramAddress victim = a;
+    victim.row = n.rows[i];
+    victim.col = 0;
+    victims.push_back(victim);
+    ++stats_.neighbor_refreshes;
+  }
+  ++stats_.triggers;
+  // Re-arm: the refreshed neighbors can absorb another full threshold's
+  // worth of disturbance from this aggressor before the next trigger.
+  entry.armed_at = entry.count;
+}
+
+void GrapheneMitigator::on_activate(const dram::DramAddress& a,
+                                    std::vector<dram::DramAddress>& victims) {
+  ++stats_.acts_observed;
+  Table& t = tables_[geo_.flat_bank(a.rank, a.bank)];
+
+  for (Entry& e : t.entries) {
+    if (e.row == a.row) {
+      if (++e.count - e.armed_at >= threshold_) trigger(e, a, victims);
+      return;
+    }
+  }
+  if (t.entries.size() < table_rows_) {
+    // A fresh entry starts at spill + 1: the row may have been charged to
+    // the spillover counter before earning a slot (Misra-Gries
+    // overestimates, never underestimates a tracked row). It arms at the
+    // spill floor — everything below that is indistinguishable noise.
+    t.entries.push_back(Entry{a.row, t.spill + 1, t.spill});
+    if (t.entries.back().count - t.entries.back().armed_at >= threshold_) {
+      trigger(t.entries.back(), a, victims);
+    }
+    return;
+  }
+  // Table full: charge the spillover counter; once it overtakes the
+  // smallest entry, that entry's row can no longer be distinguished from
+  // the untracked mass — adopt the new row in its place, armed at the
+  // floor (an adopted row must earn a full threshold of further
+  // activations before it can trigger).
+  ++t.spill;
+  auto min_it = std::min_element(
+      t.entries.begin(), t.entries.end(),
+      [](const Entry& x, const Entry& y) { return x.count < y.count; });
+  if (t.spill > min_it->count) {
+    min_it->row = a.row;
+    // spill + 1, like insertion: the floor plus the ACT that just
+    // happened (counts must never underestimate a tracked row).
+    min_it->count = t.spill + 1;
+    min_it->armed_at = t.spill;
+  }
+}
+
+void GrapheneMitigator::on_refresh(std::uint32_t rank) {
+  EASYDRAM_EXPECTS(rank < refs_seen_.size());
+  // Counters estimate activations per retention window: reset when the
+  // rank's REF sequence completes one (8192 REFs = tREFW), not on every
+  // tREFI tick — a tREFI window is far too short for any threshold the
+  // policy would realistically use.
+  if (++refs_seen_[rank] % dram::kRefsPerRetentionWindow != 0) return;
+  for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
+    Table& t = tables_[geo_.flat_bank(rank, bank)];
+    t.entries.clear();
+    t.spill = 0;
+  }
+  ++stats_.window_resets;
+}
+
+std::int64_t GrapheneMitigator::tracked_count(std::uint32_t bank,
+                                              std::uint32_t row,
+                                              std::uint32_t rank) const {
+  const Table& t = tables_[geo_.flat_bank(rank, bank)];
+  for (const Entry& e : t.entries) {
+    if (e.row == row) return e.count;
+  }
+  return 0;
+}
+
+}  // namespace easydram::smc::mitigation

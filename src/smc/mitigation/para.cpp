@@ -1,0 +1,37 @@
+#include "smc/mitigation/para.hpp"
+
+#include "common/contracts.hpp"
+
+namespace easydram::smc::mitigation {
+
+ParaMitigator::ParaMitigator(const MitigationConfig& cfg,
+                             const dram::Geometry& geo, std::uint32_t channel)
+    : geo_(geo),
+      probability_(cfg.para_probability),
+      rng_(hash_mix(cfg.seed, channel, 0x9A7A)) {
+  EASYDRAM_EXPECTS(probability_ >= 0.0 && probability_ <= 1.0);
+}
+
+void ParaMitigator::on_activate(const dram::DramAddress& a,
+                                std::vector<dram::DramAddress>& victims) {
+  ++stats_.acts_observed;
+  // One RNG draw per ACT keeps the stream a pure function of the observed
+  // command sequence; the neighbor pick only draws when it has a choice.
+  if (rng_.next_double() >= probability_) return;
+  const dram::Geometry::NeighborRows n = geo_.neighbor_rows(a.row);
+  if (n.count == 0) return;
+  const std::uint32_t pick =
+      n.count == 1 ? 0u : static_cast<std::uint32_t>(rng_.next_below(n.count));
+  dram::DramAddress victim = a;
+  victim.row = n.rows[pick];
+  victim.col = 0;
+  victims.push_back(victim);
+  ++stats_.triggers;
+  ++stats_.neighbor_refreshes;
+}
+
+void ParaMitigator::on_refresh(std::uint32_t /*rank*/) {
+  // PARA carries no refresh-window state: nothing to reset.
+}
+
+}  // namespace easydram::smc::mitigation

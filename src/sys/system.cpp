@@ -69,8 +69,12 @@ EasyDramSystem::EasyDramSystem(const SystemConfig& cfg)
   EASYDRAM_EXPECTS(cfg.geometry.channels >= 1);
   EASYDRAM_EXPECTS(cfg.geometry.ranks_per_channel >= 1);
   channels_.reserve(cfg.geometry.channels);
+  mitigators_.reserve(cfg.geometry.channels);
   for (std::uint32_t ch = 0; ch < cfg.geometry.channels; ++ch) {
     channels_.push_back(std::make_unique<ChannelSlice>(cfg_, *mapper_, ch));
+    if (cfg_.track_row_hammer) channels_.back()->device.set_hammer_tracking(true);
+    mitigators_.push_back(
+        smc::mitigation::make_mitigator(cfg_.mitigation, cfg_.geometry, ch));
   }
   rebuild_controllers();
 }
@@ -113,9 +117,31 @@ smc::ApiStats EasyDramSystem::smc_stats() const {
   return total;
 }
 
+smc::mitigation::MitigationStats EasyDramSystem::mitigation_stats() const {
+  smc::mitigation::MitigationStats total;
+  for (const auto& m : mitigators_) {
+    if (m == nullptr) continue;
+    const smc::mitigation::MitigationStats& s = m->stats();
+    total.acts_observed += s.acts_observed;
+    total.triggers += s.triggers;
+    total.neighbor_refreshes += s.neighbor_refreshes;
+    total.window_resets += s.window_resets;
+  }
+  return total;
+}
+
+std::int64_t EasyDramSystem::max_hammer_exposure() const {
+  std::int64_t m = 0;
+  for (const auto& ch : channels_) {
+    m = std::max(m, ch->device.max_hammer_exposure());
+  }
+  return m;
+}
+
 void EasyDramSystem::rebuild_controllers() {
-  for (auto& ch : channels_) {
-    EASYDRAM_EXPECTS(!ch->controller || ch->controller->idle());
+  for (std::uint32_t idx = 0; idx < channels_.size(); ++idx) {
+    ChannelSlice& ch = *channels_[idx];
+    EASYDRAM_EXPECTS(!ch.controller || ch.controller->idle());
     smc::ControllerOptions options;
     if (cfg_.scheduler_factory) {
       options.scheduler = cfg_.scheduler_factory();
@@ -129,7 +155,16 @@ void EasyDramSystem::rebuild_controllers() {
     options.row_batch_limit = cfg_.row_batch_limit;
     options.weak_rows = weak_rows_ ? &*weak_rows_ : nullptr;
     options.clonable = rowclone_enabled_ ? &clone_map_ : nullptr;
-    ch->controller = std::make_unique<smc::MemoryController>(std::move(options));
+    // The policy instance persists across rebuilds (it lives in
+    // mitigators_): a mid-run enable_rowclone/install_weak_row_filter must
+    // neither rewind PARA's RNG stream nor zero the accumulated stats.
+    options.mitigator = mitigators_[idx].get();
+    auto controller = std::make_unique<smc::MemoryController>(std::move(options));
+    // The controller observes its own command stream: ACTs feed the
+    // mitigation policy. Without a policy the sink stays unset (zero
+    // virtual-call cost on the batch-building path).
+    ch.api.set_act_sink(mitigators_[idx] != nullptr ? controller.get() : nullptr);
+    ch.controller = std::move(controller);
   }
 }
 

@@ -13,6 +13,7 @@
 #include "smc/bloom.hpp"
 #include "smc/controller.hpp"
 #include "smc/easyapi.hpp"
+#include "smc/mitigation/mitigator.hpp"
 #include "smc/rowclone_map.hpp"
 #include "smc/trcd_profiler.hpp"
 #include "sys/completion.hpp"
@@ -64,6 +65,18 @@ struct SystemConfig {
   /// called once per controller build — i.e. once per channel (see
   /// examples/custom_scheduler.cpp).
   std::function<std::unique_ptr<smc::Scheduler>()> scheduler_factory;
+
+  /// RowHammer mitigation policy each channel's controller runs (kNone by
+  /// default). Channels get independent policy instances; PARA's RNG
+  /// stream is `mitigation.seed` mixed with the channel index, so a fixed
+  /// seed yields bit-identical runs at any host parallelism.
+  smc::mitigation::MitigationConfig mitigation{};
+
+  /// Enables the DRAM devices' ground-truth RowHammer exposure accounting
+  /// (see DramDevice::max_hammer_exposure). Off by default: the rowhammer
+  /// scenarios turn it on; it adds per-ACT bookkeeping the paper-figure
+  /// scenarios never read.
+  bool track_row_hammer = false;
 };
 
 /// Convenience presets matching the paper's evaluated configurations.
@@ -159,6 +172,12 @@ class EasyDramSystem final : public cpu::MemoryBackend {
   Picoseconds wall() const;
   /// Aggregate SMC statistics summed over every channel's EasyApi.
   smc::ApiStats smc_stats() const;
+  /// Aggregate RowHammer mitigation statistics summed over every channel's
+  /// policy instance (all zero when mitigation is kNone).
+  smc::mitigation::MitigationStats mitigation_stats() const;
+  /// System-wide bitflip-window exposure: the maximum over every channel
+  /// device (0 unless `track_row_hammer` was set).
+  std::int64_t max_hammer_exposure() const;
 
  private:
   /// One memory channel: device + tile + timeline + API + controller.
@@ -199,6 +218,10 @@ class EasyDramSystem final : public cpu::MemoryBackend {
   SystemConfig cfg_;
   std::unique_ptr<smc::AddressMapper> mapper_;
   std::vector<std::unique_ptr<ChannelSlice>> channels_;
+  /// Per-channel mitigation policies (entries null for kNone). Owned here
+  /// — NOT by the controllers — so policy state and stats survive
+  /// controller rebuilds (enable_rowclone, install_weak_row_filter).
+  std::vector<std::unique_ptr<smc::mitigation::RowHammerMitigator>> mitigators_;
   smc::RowCloneMap clone_map_;
   std::optional<smc::BloomFilter> weak_rows_;
   bool rowclone_enabled_ = false;

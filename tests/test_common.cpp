@@ -138,7 +138,6 @@ TEST(Stats, SummaryTracksMinMaxMean) {
 TEST(Stats, GeomeanOfPowers) {
   const double xs[] = {1.0, 4.0, 16.0};
   EXPECT_NEAR(geomean(xs), 4.0, 1e-9);
-  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
 }
 
 TEST(Stats, GeomeanRejectsNonPositive) {
@@ -153,10 +152,25 @@ TEST(Stats, GeomeanSkipPolicyAveragesPositives) {
   EXPECT_NEAR(geomean(xs, GeomeanPolicy::kSkipNonPositive), 8.0, 1e-9);
   const double all_zero[] = {0.0, 0.0};
   EXPECT_DOUBLE_EQ(geomean(all_zero, GeomeanPolicy::kSkipNonPositive), 0.0);
+  // The skip policy also tolerates emptiness (nothing remains -> 0).
+  EXPECT_DOUBLE_EQ(geomean({}, GeomeanPolicy::kSkipNonPositive), 0.0);
+}
+
+// Unified empty-input policy: a statistic of no samples is an error, not a
+// silent 0.0 (matching geomean's existing strict default). Scenarios never
+// hit this (every sweep has >= 1 repetition); benches report "n/a" instead.
+TEST(Stats, EmptyInputThrowsAcrossTheFamily) {
+  EXPECT_THROW(mean({}), StatsError);
+  EXPECT_THROW(stddev({}), StatsError);
+  EXPECT_THROW(percentile({}, 50.0), StatsError);
+  EXPECT_THROW(p50({}), StatsError);
+  EXPECT_THROW(p95({}), StatsError);
+  EXPECT_THROW(geomean({}), StatsError);
+  // The streaming Summary keeps its branchable count() contract instead.
+  EXPECT_DOUBLE_EQ(Summary{}.mean(), 0.0);
 }
 
 TEST(Stats, StddevSmallSpans) {
-  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
   const double one[] = {42.0};
   EXPECT_DOUBLE_EQ(stddev(one), 0.0);
   const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
@@ -164,8 +178,6 @@ TEST(Stats, StddevSmallSpans) {
 }
 
 TEST(Stats, PercentileSmallSpans) {
-  EXPECT_DOUBLE_EQ(p50({}), 0.0);
-  EXPECT_DOUBLE_EQ(p95({}), 0.0);
   const double one[] = {7.0};
   EXPECT_DOUBLE_EQ(p50(one), 7.0);
   EXPECT_DOUBLE_EQ(p95(one), 7.0);

@@ -230,6 +230,74 @@ TEST_F(DeviceTest, RefreshBookkeeping) {
   EXPECT_TRUE(r.violations & kTrfc);
 }
 
+TEST_F(DeviceTest, ColumnCommandsDuringTrfcAreFlagged) {
+  // Regression: RD/WR used to sail through the tRFC window unflagged —
+  // only ACT consulted ref_busy_until. Force a row open during the window
+  // (itself a violation) and probe both column commands.
+  dev_.issue(Command::kRef, {}, 0_ns);
+  const IssueResult act = dev_.issue(Command::kAct, {0, 1, 0}, 10_ns);
+  EXPECT_TRUE(act.violations & kTrfc);
+  const IssueResult rd = dev_.issue(Command::kRead, {0, 1, 0}, 30_ns);
+  EXPECT_TRUE(rd.violations & kTrfc);
+  const IssueResult wr =
+      dev_.issue(Command::kWrite, {0, 1, 1}, 50_ns, pattern(0x12));
+  EXPECT_TRUE(wr.violations & kTrfc);
+  // After the window closes, the open row serves columns violation-free.
+  const IssueResult late = dev_.issue(Command::kRead, {0, 1, 2}, t_.tRFC + 1000_ns);
+  EXPECT_EQ(late.violations, kNone);
+}
+
+TEST_F(DeviceTest, EarliestLegalColumnRespectsTrfc) {
+  dev_.issue(Command::kRef, {}, 0_ns);
+  dev_.issue(Command::kAct, {0, 1, 0}, 10_ns);  // Violating open, on purpose.
+  EXPECT_GE(dev_.earliest_legal(Command::kRead, {0, 1, 0}), t_.tRFC);
+  EXPECT_GE(dev_.earliest_legal(Command::kWrite, {0, 1, 0}), t_.tRFC);
+}
+
+TEST_F(DeviceTest, RefreshClosesOpenBanksExplicitly) {
+  // Regression: an ACT straddling a refresh. kRef used to flag
+  // kRefreshNotIdle but leave the bank open, so the model kept serving the
+  // pre-refresh row through a window that destroys it on a real chip.
+  dev_.issue(Command::kAct, {3, 77, 0}, 0_ns);
+  const IssueResult ref = dev_.issue(Command::kRef, {}, 10_ns);
+  EXPECT_TRUE(ref.violations & kRefreshNotIdle);
+  EXPECT_FALSE(dev_.open_row(3).has_value()) << "REF must close every bank";
+  // Every bank exits the window precharged and immediately activatable:
+  // earliest ACT is exactly the end of tRFC, not tRP beyond it.
+  EXPECT_EQ(dev_.earliest_legal(Command::kAct, {3, 78, 0}),
+            Picoseconds{10000} + t_.tRFC);
+  const IssueResult act = dev_.issue(Command::kAct, {3, 78, 0},
+                                     Picoseconds{10000} + t_.tRFC);
+  EXPECT_EQ(act.violations, kNone);
+}
+
+TEST_F(DeviceTest, RefreshResetsTfawWindow) {
+  // Four rapid ACTs fill the tFAW window; a refresh's internal activation
+  // burst supersedes them, so a (violating) ACT right after the REF must
+  // not inherit a stale kTfaw flag.
+  Picoseconds t = 0_ns;
+  for (std::uint32_t bg = 0; bg < 4; ++bg) {
+    dev_.issue(Command::kAct, {bg * 4, 1, 0}, t);
+    t += t_.tRRD_S;
+  }
+  dev_.issue(Command::kPreAll, {}, t + t_.tRAS);
+  const Picoseconds ref_at = t + t_.tRAS + t_.tRP;
+  dev_.issue(Command::kRef, {}, ref_at);
+  const IssueResult r = dev_.issue(Command::kAct, {1, 1, 0}, ref_at + 10_ns);
+  EXPECT_TRUE(r.violations & kTrfc) << "still inside the refresh window";
+  EXPECT_FALSE(r.violations & kTfaw) << "pre-refresh ACT window leaked";
+}
+
+TEST_F(DeviceTest, RefreshClearsPendingRowClonePattern) {
+  // ACT -> early PRE primes the RowClone detector; a refresh in between
+  // destroys the row buffer, so the post-refresh ACT is a plain activate.
+  dev_.issue(Command::kAct, {0, 5, 0}, 0_ns);
+  dev_.issue(Command::kPre, {0, 0, 0}, 3_ns);  // Early: gap << tRAS/2.
+  dev_.issue(Command::kRef, {}, 6_ns);
+  const IssueResult act = dev_.issue(Command::kAct, {0, 9, 0}, 9_ns);
+  EXPECT_FALSE(act.rowclone_attempted);
+}
+
 TEST_F(DeviceTest, PreAllClosesEverything) {
   dev_.issue(Command::kAct, {0, 1, 0}, 0_ns);
   dev_.issue(Command::kAct, {5, 2, 0}, 10_ns);

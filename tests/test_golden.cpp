@@ -50,8 +50,12 @@ constexpr GoldenEntry kGolden[] = {
     {"fig13_trcd_speedup", 0xD8AE6DB2AF811381ull},
     {"fig2_breakdown", 0xD070C9DB79A7858Aull},
     {"fig8_latency_profile", 0x0BEC113C08C4FC67ull},
+    {"mitigation_overhead", 0x44FF6F4B882509B9ull},
     {"quickstart", 0x030BF38B297270D9ull},
     {"rank_interleaving", 0x6B607F7263283940ull},
+    {"rowhammer_baseline", 0x26297656C3C21DA7ull},
+    {"rowhammer_graphene", 0x58C1ADC7E933FD8Cull},
+    {"rowhammer_para", 0x97C61FB1735CA39Aull},
     {"table1_platforms", 0x0F61635A17B1D40Cull},
     {"validation_timescale", 0x76793482AB8533D5ull},
 };

@@ -187,6 +187,73 @@ TEST(MultiRankApi, RefreshCatchUpCoversEveryRank) {
   EXPECT_EQ(h.device.refreshes_issued(1), due);
 }
 
+// --------------------------------------------------------------------------
+// Maintenance-batch refresh pacing (easyapi.cpp refresh_rank_if_due): the
+// catch-up loop must terminate (tRFC << tREFI), charge only refreshes whose
+// tRFC window overlaps "now", and keep every rank converged even though a
+// charged refresh on one rank advances the clock the next rank reads.
+// --------------------------------------------------------------------------
+
+/// Advances the emulated clock to `target_ns` (1 cycle == 1 ns at the
+/// harness's 1 GHz emulated clock).
+void advance_emulated_to_ns(Harness& h, std::int64_t target_ns) {
+  const std::int64_t now = h.keeper.counters().mc();
+  ASSERT_GE(target_ns, now);
+  h.keeper.counters().advance_mc(target_ns - now);
+}
+
+TEST(MultiRankApi, CatchUpRefreshesRunUncharged) {
+  Harness h(two_rank_geometry());
+  const dram::TimingParams t = h.api.timing();
+  // Land well past the 3rd tREFI *and* past its tRFC window: every owed
+  // refresh would have overlapped compute, so none may charge a timeline.
+  advance_emulated_to_ns(
+      h, (3 * t.tREFI.count + t.tRFC.count + 100'000) / 1000);
+  const Picoseconds wall_before = h.keeper.wall();
+  h.api.refresh_if_due();
+  EXPECT_EQ(h.device.refreshes_issued(0), 3);
+  EXPECT_EQ(h.device.refreshes_issued(1), 3);
+  EXPECT_EQ(h.api.stats().dram_busy.count, 0);
+  EXPECT_EQ(h.keeper.wall(), wall_before);
+  EXPECT_EQ(h.api.stats().refreshes_issued, 6);
+}
+
+TEST(MultiRankApi, InFlightRefreshChargesTheTimeline) {
+  Harness h(two_rank_geometry());
+  const dram::TimingParams t = h.api.timing();
+  // Land *inside* the 3rd refresh's tRFC window: that refresh is still in
+  // flight "now" and must delay current work — per rank.
+  advance_emulated_to_ns(h, (3 * t.tREFI.count + t.tRFC.count / 2) / 1000);
+  const Picoseconds wall_before = h.keeper.wall();
+  h.api.refresh_if_due();
+  // Both ranks fully caught up against the clock their own charged
+  // refreshes advanced (the convergence contract of refresh_rank_if_due).
+  const std::int64_t due = h.device.refreshes_due(h.keeper.emulated_now());
+  EXPECT_GE(h.device.refreshes_issued(0), 3);
+  EXPECT_GE(h.device.refreshes_issued(1), 3);
+  EXPECT_GE(h.device.refreshes_issued(0), due);
+  EXPECT_GE(h.device.refreshes_issued(1), due);
+  // Rank 0's in-flight refresh charged at least its tRFC. Rank 1 may then
+  // legitimately see its own window already past (rank 0's charge advanced
+  // the shared clock), so only a lower bound of one charge is portable.
+  EXPECT_GE(h.api.stats().dram_busy, t.tRFC);
+  EXPECT_GE(h.keeper.wall(), wall_before + t.tRFC);
+}
+
+TEST(MultiRankApi, RepeatedPacingIssuesExactlyOneRefreshPerTrefiPerRank) {
+  Harness h(two_rank_geometry());
+  const dram::TimingParams t = h.api.timing();
+  // Walk the clock one tREFI at a time (landing past each window): every
+  // step owes each rank exactly one more refresh — no drift, no backlog.
+  for (std::int64_t k = 1; k <= 5; ++k) {
+    advance_emulated_to_ns(h, (k * t.tREFI.count + t.tRFC.count + 1000) / 1000);
+    h.api.refresh_if_due();
+    EXPECT_EQ(h.device.refreshes_issued(0), k);
+    EXPECT_EQ(h.device.refreshes_issued(1), k);
+  }
+  EXPECT_EQ(h.api.stats().dram_busy.count, 0);
+}
+
 TEST(MultiRankController, CrossRankRowClonePairFallsBack) {
   const dram::Geometry geo = two_rank_geometry();
   Harness h(geo);

@@ -4,6 +4,7 @@
 
 #include "workloads/builder.hpp"
 #include "workloads/copyinit.hpp"
+#include "workloads/hammer.hpp"
 #include "workloads/lmbench.hpp"
 #include "workloads/polybench.hpp"
 
@@ -277,6 +278,87 @@ TEST(PolybenchTest, RecordCountTableMatchesGenerators) {
     EXPECT_EQ(records.capacity(), expected) << k.name << " reserve not applied";
   }
   EXPECT_EQ(kernel_record_count("no-such-kernel"), 0u);
+}
+
+
+// --------------------------------------------------------------------------
+// RowHammer aggressor kernels
+// --------------------------------------------------------------------------
+
+TEST(HammerTest, PatternsProduceTheDocumentedAggressorSets) {
+  HammerParams p;
+  p.base_row = 1024;
+  p.pattern = HammerPattern::kSingleSided;
+  EXPECT_EQ(hammer_aggressor_rows(p),
+            (std::vector<std::uint32_t>{1024, 1032}));
+  p.pattern = HammerPattern::kDoubleSided;
+  EXPECT_EQ(hammer_aggressor_rows(p), (std::vector<std::uint32_t>{1024, 1026}));
+  p.pattern = HammerPattern::kManySided;
+  p.sides = 3;
+  EXPECT_EQ(hammer_aggressor_rows(p),
+            (std::vector<std::uint32_t>{1024, 1026, 1028}));
+}
+
+TEST(HammerTest, VictimsAreNeighborsMinusAggressors) {
+  const dram::Geometry geo;
+  HammerParams p;  // Default base_row 1030: subarray-interior.
+  p.pattern = HammerPattern::kDoubleSided;
+  // Aggressors 1030/1032: neighbors 1029, 1031 (shared), 1033.
+  EXPECT_EQ(hammer_victim_rows(p, geo),
+            (std::vector<std::uint32_t>{1029, 1031, 1033}));
+  p.pattern = HammerPattern::kManySided;
+  p.sides = 3;
+  // 1030/1032/1034: inter-aggressor rows plus the two flanks.
+  EXPECT_EQ(hammer_victim_rows(p, geo),
+            (std::vector<std::uint32_t>{1029, 1031, 1033, 1035}));
+}
+
+TEST(HammerTest, SubarrayBoundaryAggressorLosesOneVictim) {
+  const dram::Geometry geo;
+  HammerParams p;
+  p.base_row = 1024;  // Starts subarray 2: no lower neighbor.
+  p.pattern = HammerPattern::kDoubleSided;
+  EXPECT_EQ(hammer_victim_rows(p, geo),
+            (std::vector<std::uint32_t>{1025, 1027}));
+}
+
+TEST(HammerTest, TraceIsDependentLoadPlusFlushPerAggressorPerRound) {
+  const dram::Geometry geo;
+  const smc::LinearMapper mapper(geo);
+  HammerParams p;
+  p.pattern = HammerPattern::kDoubleSided;
+  p.rounds = 5;
+  const auto trace = make_hammer_trace(p, mapper);
+  ASSERT_EQ(trace.size(), 5u * 2 * 2);  // rounds x aggressors x (load+flush).
+  for (std::size_t i = 0; i < trace.size(); i += 2) {
+    EXPECT_EQ(trace[i].op, cpu::Op::kLoadDependent);
+    EXPECT_EQ(trace[i + 1].op, cpu::Op::kFlush);
+    EXPECT_EQ(trace[i].addr, trace[i + 1].addr);
+    // Every access decodes to an aggressor row of bank 0.
+    const dram::DramAddress a = mapper.to_dram(trace[i].addr);
+    EXPECT_EQ(a.bank, p.bank);
+    EXPECT_TRUE(a.row == 1030u || a.row == 1032u) << a.row;
+  }
+}
+
+TEST(HammerTest, BlendSplicesWholeRoundsAndKeepsEveryRecord) {
+  const dram::Geometry geo;
+  const smc::LinearMapper mapper(geo);
+  HammerParams p;
+  p.pattern = HammerPattern::kDoubleSided;
+  p.rounds = 10;
+  std::vector<cpu::TraceRecord> background(37);
+  for (auto& r : background) r.op = cpu::Op::kLoad;
+  const auto blend = make_hammer_blend(p, mapper, background, 8);
+  const auto hammer = make_hammer_trace(p, mapper);
+  EXPECT_EQ(blend.size(), background.size() + hammer.size());
+  // First burst lands right after the 8th background record and is one
+  // full round (2 aggressors x load+flush).
+  EXPECT_EQ(blend[8].op, cpu::Op::kLoadDependent);
+  EXPECT_EQ(blend[9].op, cpu::Op::kFlush);
+  EXPECT_EQ(blend[10].op, cpu::Op::kLoadDependent);
+  EXPECT_EQ(blend[11].op, cpu::Op::kFlush);
+  EXPECT_EQ(blend[12].op, cpu::Op::kLoad);  // Background resumes.
 }
 
 }  // namespace
