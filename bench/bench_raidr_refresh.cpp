@@ -1,0 +1,18 @@
+// Retention-aware refresh tables: REF-issue reduction of the RAIDR-style
+// skipping policy vs the all-rows baseline, and the savings' sensitivity
+// to the synthetic chip's retention weakness
+// (src/cli/scenarios_refresh.cpp holds the measurement). An extension
+// beyond the paper's two technique families, exercising the refresh
+// pacing machinery from the opposite direction to the RowHammer
+// mitigators' extra refreshes.
+
+#include <array>
+
+#include "cli/scenario.hpp"
+
+int main(int argc, char** argv) {
+  constexpr std::array<std::string_view, 2> kDefaults{"raidr_baseline",
+                                                      "raidr_savings"};
+  return easydram::cli::scenario_main(
+      std::span<const std::string_view>(kDefaults), argc, argv);
+}

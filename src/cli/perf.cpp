@@ -108,6 +108,10 @@ std::int64_t mitigation_overhead_bench(const PerfOptions& opts) {
   return scenario_bench("mitigation_overhead", opts, 1);
 }
 
+std::int64_t raidr_refresh_bench(const PerfOptions& opts) {
+  return scenario_bench("raidr_baseline", opts, 1);
+}
+
 struct PerfBench {
   std::string_view name;
   std::string_view summary;
@@ -131,6 +135,9 @@ constexpr PerfBench kBenches[] = {
     {"mitigation_overhead",
      "Full mitigation_overhead scenario (hammer + blend under PARA/Graphene)",
      &mitigation_overhead_bench},
+    {"raidr_refresh",
+     "Full raidr_baseline scenario (REF savings of retention-aware refresh)",
+     &raidr_refresh_bench},
 };
 
 double now_seconds() {

@@ -198,6 +198,19 @@ std::int64_t DramDevice::refreshes_issued(std::uint32_t rank) const {
   return ranks_[rank].refreshes_issued;
 }
 
+std::int64_t DramDevice::refresh_slots(std::uint32_t rank) const {
+  EASYDRAM_EXPECTS(rank < ranks_.size());
+  return ranks_[rank].refresh_slots;
+}
+
+void DramDevice::skip_refresh(std::uint32_t rank) {
+  EASYDRAM_EXPECTS(rank < ranks_.size());
+  // The skipped stripe is NOT refreshed: victim counters keep
+  // accumulating and the stripe's retention clock keeps running — only
+  // the round-robin position advances.
+  ++ranks_[rank].refresh_slots;
+}
+
 IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
                               std::span<const std::uint8_t> wdata) {
   EASYDRAM_EXPECTS(at >= now_);
@@ -409,7 +422,14 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
       r.act_window.clear();
       if (at < r.ref_busy_until) res.violations |= kTrfc;
       r.ref_busy_until = at + timing_.tRFC;
-      if (hammer_tracking_) note_hammer_refresh(a.rank, r.refreshes_issued);
+      // The stripe this REF targets is set by the slot position (issued +
+      // skipped), so a retention-aware policy skipping slots keeps the
+      // round-robin aligned with what a real device's internal counter —
+      // which advances per REF *opportunity* in the policy's schedule —
+      // would target.
+      if (hammer_tracking_) note_hammer_refresh(a.rank, r.refresh_slots);
+      if (retention_tracking_) note_retention_refresh(a.rank, r.refresh_slots);
+      ++r.refresh_slots;
       ++r.refreshes_issued;
       return res;
     }
@@ -481,23 +501,74 @@ void DramDevice::note_hammer_act(std::uint32_t fbank, std::uint32_t row) {
   }
 }
 
-void DramDevice::note_hammer_refresh(std::uint32_t rank, std::int64_t ref_index) {
-  // REF number n refreshes one rows_per_bank/8192 stripe of every bank in
+void DramDevice::note_hammer_refresh(std::uint32_t rank, std::int64_t ref_slot) {
+  // REF slot n refreshes one refresh_stripe_rows() stripe of every bank in
   // the rank (round-robin over the retention window), so only runs long
   // enough to genuinely re-visit a row ever reset its victim counter this
   // way — short runs keep accumulating, exactly like real tREFW exposure.
-  const auto stripe_rows = static_cast<std::uint32_t>(
-      (geo_.rows_per_bank + kRefsPerRetentionWindow - 1) /
-      kRefsPerRetentionWindow);
-  const auto stripe =
-      static_cast<std::uint32_t>(ref_index % kRefsPerRetentionWindow);
-  const std::uint32_t first = stripe * stripe_rows;
+  // Keyed by the *slot* (issued + skipped), so a skipping refresh policy
+  // leaves exactly the skipped stripes' victims accumulating.
+  const std::uint32_t stripe_rows = geo_.refresh_stripe_rows();
+  const std::uint32_t first = geo_.refresh_stripe_of_slot(ref_slot) * stripe_rows;
   for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
     auto& counts = hammer_counts_[geo_.flat_bank(rank, bank)];
     for (std::uint32_t row = first;
          row < std::min(first + stripe_rows, geo_.rows_per_bank); ++row) {
       counts.erase(row);
     }
+  }
+}
+
+void DramDevice::set_retention_tracking(bool on) {
+  retention_tracking_ = on;
+  const std::size_t slots =
+      on ? static_cast<std::size_t>(ranks_.size()) * geo_.refresh_window_refs
+         : 0;
+  stripe_last_ref_slot_.assign(slots, 0);
+  for (std::size_t i = 0; i < slots; ++i) {
+    // Power-on: stripe s counts as last refreshed at virtual slot
+    // s - window, i.e. exactly one full round before its first slot, so
+    // an undisturbed all-rows schedule measures gap == one window.
+    const auto stripe = static_cast<std::int64_t>(i % geo_.refresh_window_refs);
+    stripe_last_ref_slot_[i] = stripe - geo_.refresh_window_refs;
+  }
+  stripe_min_retention_.assign(slots, -1);
+  retention_violations_ = 0;
+  retention_overshoot_ = Picoseconds{};
+}
+
+Picoseconds DramDevice::stripe_min_retention(std::uint32_t rank,
+                                             std::uint32_t stripe) const {
+  EASYDRAM_EXPECTS(retention_tracking_ && rank < ranks_.size() &&
+                   stripe < geo_.refresh_window_refs);
+  const std::size_t idx = rank * geo_.refresh_window_refs + stripe;
+  if (stripe_min_retention_[idx] >= 0) {
+    return Picoseconds{stripe_min_retention_[idx]};
+  }
+  const std::uint32_t stripe_rows = geo_.refresh_stripe_rows();
+  const std::uint32_t first = stripe * stripe_rows;
+  const std::uint32_t last = std::min(first + stripe_rows, geo_.rows_per_bank);
+  std::int64_t min_ps = std::numeric_limits<std::int64_t>::max();
+  for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
+    const std::uint32_t fbank = geo_.flat_bank(rank, bank);
+    for (std::uint32_t row = first; row < last; ++row) {
+      min_ps = std::min(min_ps, variation_.row_retention(fbank, row).count);
+    }
+  }
+  stripe_min_retention_[idx] = min_ps;
+  return Picoseconds{min_ps};
+}
+
+void DramDevice::note_retention_refresh(std::uint32_t rank, std::int64_t ref_slot) {
+  const std::uint32_t stripe = geo_.refresh_stripe_of_slot(ref_slot);
+  const std::size_t idx = rank * geo_.refresh_window_refs + stripe;
+  const std::int64_t gap_slots = ref_slot - stripe_last_ref_slot_[idx];
+  stripe_last_ref_slot_[idx] = ref_slot;
+  const Picoseconds gap{gap_slots * timing_.tREFI.count};
+  const Picoseconds min_ret = stripe_min_retention(rank, stripe);
+  if (gap > min_ret) {
+    ++retention_violations_;
+    retention_overshoot_ = std::max(retention_overshoot_, gap - min_ret);
   }
 }
 

@@ -17,13 +17,6 @@
 
 namespace easydram::dram {
 
-/// REF commands per retention window (JESD79-4: 8192 auto-refresh commands
-/// cover the whole array every tREFW = 64 ms). Each REF therefore refreshes
-/// a rows_per_bank/8192 stripe of every bank; the RowHammer exposure
-/// accounting and the Graphene-style tracker both key their reset schedule
-/// off this constant.
-inline constexpr std::int64_t kRefsPerRetentionWindow = 8192;
-
 /// Nominal-timing violations detected when a command is issued. DRAM
 /// techniques violate timings *on purpose*, so a violation never rejects a
 /// command; it selects the behavioural model (e.g. reduced-tRCD reads may
@@ -88,51 +81,84 @@ struct IssueResult {
 ///    Fast-Parallel-Mode RowClone: if the pair is clonable (same subarray
 ///    and the variation model agrees), dst's row buffer and cells take src's
 ///    content; otherwise dst is deterministically corrupted.
+///
+/// Units: every time in this interface is integral Picoseconds on the
+/// caller's absolute timeline. Thread-safety: none — a device belongs to
+/// one channel's (single-threaded) controller loop; concurrent sweeps own
+/// one device per task.
 class DramDevice {
  public:
   DramDevice(const Geometry& geo, const TimingParams& timing,
              const VariationConfig& variation);
 
+  /// The construction-time shape/timing/variation (never change after).
   const Geometry& geometry() const { return geo_; }
   const TimingParams& timing() const { return timing_; }
   const VariationModel& variation() const { return variation_; }
 
+  /// Ranks on this channel (== geometry().ranks_per_channel).
   std::uint32_t num_ranks() const { return geo_.ranks_per_channel; }
 
-  /// Issues `c` at absolute time `at`. Time must be non-decreasing across
-  /// calls. `wdata` must hold 64 bytes for kWrite and is ignored otherwise.
-  /// `a.rank` selects the rank; `a.channel` is ignored (a device *is* one
-  /// channel).
+  /// Issues `c` at absolute time `at` (Picoseconds). Preconditions:
+  /// at >= now() (time is non-decreasing across calls), `a` within the
+  /// geometry, `wdata` holds exactly 64 bytes for kWrite (ignored
+  /// otherwise). `a.rank` selects the rank; `a.channel` is ignored (a
+  /// device *is* one channel). Never rejects a command — out-of-spec
+  /// issue selects the behavioural model and reports violations.
   IssueResult issue(Command c, const DramAddress& a, Picoseconds at,
                     std::span<const std::uint8_t> wdata = {});
 
-  /// Earliest time at which `c` could be issued to `a` without violating
-  /// any *nominal* timing parameter. Schedulers use this to compose legal
-  /// command sequences; techniques ignore it deliberately.
+  /// Earliest absolute time (Picoseconds, >= now()) at which `c` could be
+  /// issued to `a` without violating any *nominal* timing parameter.
+  /// Schedulers use this to compose legal command sequences; techniques
+  /// ignore it deliberately. Precondition: `a` within the geometry.
   Picoseconds earliest_legal(Command c, const DramAddress& a) const;
 
-  /// Open row of `bank` in `rank`, if any.
+  /// Open row of `bank` in `rank`, if any. Preconditions: bank <
+  /// Geometry::num_banks(), rank < num_ranks().
   std::optional<std::uint32_t> open_row(std::uint32_t bank,
                                         std::uint32_t rank = 0) const;
 
-  /// Time of the last issued command (the device clock high-water mark).
+  /// Time of the last issued command (the device clock high-water mark,
+  /// Picoseconds). Advances only with command activity — idle emulated
+  /// time does not move it.
   Picoseconds now() const { return now_; }
 
-  /// Number of REF commands the controller should have issued *per rank* by
-  /// `at` to keep every row refreshed (at / tREFI).
+  /// Number of refresh *slots* (one per tREFI, per rank) the controller
+  /// should have consumed by `at` to keep every row refreshed
+  /// (at / tREFI). `at` is absolute picoseconds on the emulated timeline.
+  /// A slot is consumed by either issuing a REF or explicitly skipping it
+  /// (skip_refresh); pacing therefore compares this against
+  /// refresh_slots(), not refreshes_issued().
   std::int64_t refreshes_due(Picoseconds at) const;
+  /// REF commands actually issued to `rank`. Precondition: rank < num_ranks().
   std::int64_t refreshes_issued(std::uint32_t rank = 0) const;
+  /// Refresh slots consumed by `rank`: refreshes issued plus refreshes
+  /// skipped. This is the round-robin position — REF slot n targets stripe
+  /// n mod Geometry::refresh_window_refs — so the stripe schedule stays
+  /// aligned when a retention-aware policy skips slots. Equal to
+  /// refreshes_issued() when nothing ever skips.
+  std::int64_t refresh_slots(std::uint32_t rank = 0) const;
+  /// Consumes one refresh slot of `rank` without issuing a REF: the
+  /// round-robin position advances, no timing state changes, no victim
+  /// counters reset, and the skipped stripe's retention clock keeps
+  /// running. Called by a retention-aware refresh policy in place of a
+  /// REF; has no cost on any timeline.
+  void skip_refresh(std::uint32_t rank = 0);
 
-  /// Test/initialization backdoor: reads or writes stored cells without
-  /// timing or state effects. Unwritten cells read as zero.
+  /// Test/initialization backdoor: reads or writes one stored cache line
+  /// without timing or state effects. Unwritten cells read as zero.
+  /// Preconditions: `a` within the geometry; `data`/`out` spans exactly
+  /// 64 bytes.
   void backdoor_write(const DramAddress& a, std::span<const std::uint8_t> data);
   void backdoor_read(const DramAddress& a, std::span<std::uint8_t> out) const;
-  /// Copies a whole row (used by test fixtures).
+  /// Copies a whole row (used by test fixtures). Precondition: `data`
+  /// spans exactly Geometry::row_bytes.
   void backdoor_write_row(std::uint32_t bank, std::uint32_t row,
                           std::span<const std::uint8_t> data,
                           std::uint32_t rank = 0);
 
-  /// Statistics: total commands issued per command kind.
+  /// Statistics: total commands issued per command kind, over all ranks.
   std::int64_t commands_issued(Command c) const;
 
   // --- RowHammer exposure accounting ---------------------------------------
@@ -148,14 +174,48 @@ class DramDevice {
   // victim ever reached — the quantity a RowHammer threshold would be
   // compared against. Off by default (zero hot-path cost beyond a branch).
 
+  /// Enables/disables the accounting; toggling resets all counters.
   void set_hammer_tracking(bool on);
   bool hammer_tracking() const { return hammer_tracking_; }
-  /// Max disturbance count any victim row reached between two refreshes of
-  /// that row, over the whole run so far.
+  /// Max disturbance count (ACTs) any victim row reached between two
+  /// refreshes of that row, over the whole run so far.
   std::int64_t max_hammer_exposure() const { return hammer_max_exposure_; }
   /// Current (not yet refresh-reset) disturbance count of one row.
+  /// Precondition: the coordinate is within the geometry; 0 while
+  /// tracking is off.
   std::int64_t hammer_count(std::uint32_t bank, std::uint32_t row,
                             std::uint32_t rank = 0) const;
+
+  // --- Retention ground truth ----------------------------------------------
+  //
+  // Independent check on any refresh-skipping policy running in the
+  // controller: every *issued* REF measures how long its stripe went
+  // unrefreshed and compares the gap against the stripe's minimum modeled
+  // retention time (min of VariationModel::row_retention over every row of
+  // the stripe in every bank of the rank). A gap exceeding the minimum
+  // means a correctly modeled leaky cell *could* have decayed — a
+  // retention violation, the quantity the misbinning-risk scenario sweeps.
+  //
+  // Gaps are measured in refresh-slot space — (slots elapsed) x tREFI —
+  // not on the device command clock, which only advances with command
+  // activity and would under-count idle stretches. Slot pacing ties slots
+  // to the emulated timeline (one per tREFI), so this is the wall gap a
+  // real chip's cells would see, and it is exactly deterministic. At
+  // power-on every stripe counts as just refreshed one full window before
+  // its first slot. Off by default; like hammer tracking it costs one
+  // branch on the REF path when off.
+
+  void set_retention_tracking(bool on);
+  bool retention_tracking() const { return retention_tracking_; }
+  /// Issued REFs whose stripe gap exceeded the stripe's minimum retention.
+  std::int64_t retention_violations() const { return retention_violations_; }
+  /// Worst overshoot observed: max over violations of (gap - min
+  /// retention). Zero when no violation occurred.
+  Picoseconds max_retention_overshoot() const { return retention_overshoot_; }
+  /// Minimum modeled retention over every row of `stripe` across every
+  /// bank of `rank` (cached after first query). Preconditions: retention
+  /// tracking enabled, stripe < Geometry::refresh_window_refs.
+  Picoseconds stripe_min_retention(std::uint32_t rank, std::uint32_t stripe) const;
 
  private:
   struct BankState {
@@ -184,6 +244,10 @@ class DramDevice {
     std::vector<Picoseconds> wr_data_end_in_group;
     Picoseconds ref_busy_until;
     std::int64_t refreshes_issued = 0;
+    /// Refresh slots consumed (issued + skipped): the round-robin stripe
+    /// position. Stays equal to refreshes_issued under the default
+    /// all-rows refresh regime.
+    std::int64_t refresh_slots = 0;
   };
 
   using RowData = std::array<std::uint8_t, 8192>;
@@ -211,7 +275,10 @@ class DramDevice {
 
   /// RowHammer accounting hooks (no-ops unless tracking is enabled).
   void note_hammer_act(std::uint32_t fbank, std::uint32_t row);
-  void note_hammer_refresh(std::uint32_t rank, std::int64_t ref_index);
+  void note_hammer_refresh(std::uint32_t rank, std::int64_t ref_slot);
+
+  /// Retention accounting hook for one issued REF (tracking must be on).
+  void note_retention_refresh(std::uint32_t rank, std::int64_t ref_slot);
 
   Geometry geo_;
   TimingParams timing_;
@@ -235,6 +302,16 @@ class DramDevice {
   bool hammer_tracking_ = false;
   std::vector<std::unordered_map<std::uint32_t, std::int64_t>> hammer_counts_;
   std::int64_t hammer_max_exposure_ = 0;
+
+  // Retention ground truth (empty while tracking is off). Indexed
+  // [rank * refresh_window_refs + stripe]; last-REF *slot* numbers start
+  // at stripe - window (the power-on convention above) and min-retention
+  // slots are filled lazily (-1 = not yet computed).
+  bool retention_tracking_ = false;
+  std::vector<std::int64_t> stripe_last_ref_slot_;
+  mutable std::vector<std::int64_t> stripe_min_retention_;
+  std::int64_t retention_violations_ = 0;
+  Picoseconds retention_overshoot_{};
 };
 
 }  // namespace easydram::dram

@@ -8,6 +8,14 @@
 
 namespace easydram::dram {
 
+/// REF commands per retention window (JESD79-4: 8192 auto-refresh commands
+/// cover the whole array every tREFW = 64 ms). Each REF therefore refreshes
+/// a rows_per_bank/8192 stripe of every bank; the RowHammer exposure
+/// accounting, the Graphene-style tracker, and the RAIDR refresh policy all
+/// key their stripe/window arithmetic off this value (the default of
+/// Geometry::refresh_window_refs).
+inline constexpr std::int64_t kRefsPerRetentionWindow = 8192;
+
 /// Physical organization of the modelled memory system.
 ///
 /// The defaults match the paper's case-study memory system (§7.2): a single
@@ -29,6 +37,13 @@ struct Geometry {
   std::uint32_t row_bytes = 8192;
   std::uint32_t col_bytes = 64;
   std::uint32_t rows_per_subarray = 512;
+  /// REF commands that cover the whole array once (one retention window,
+  /// nominally tREFW = 64 ms). REF number n refreshes the round-robin
+  /// stripe n mod refresh_window_refs of every bank in the rank. The JEDEC
+  /// value is 8192; tests and time-compressed retention scenarios shrink it
+  /// so a whole window fits in a millisecond-scale emulated run.
+  std::uint32_t refresh_window_refs =
+      static_cast<std::uint32_t>(kRefsPerRetentionWindow);
 
   /// Banks in one rank.
   constexpr std::uint32_t num_banks() const { return bank_groups * banks_per_group; }
@@ -81,6 +96,24 @@ struct Geometry {
       n.rows[n.count++] = row + 1;
     }
     return n;
+  }
+
+  /// Rows of one refresh stripe in every bank: REF number n refreshes rows
+  /// [stripe * refresh_stripe_rows(), ...) where stripe = n mod
+  /// refresh_window_refs. 4 rows for the default 32 K-row / 8192-REF shape.
+  constexpr std::uint32_t refresh_stripe_rows() const {
+    return (rows_per_bank + refresh_window_refs - 1) / refresh_window_refs;
+  }
+  /// Refresh stripe (round-robin position within the window) REF slot
+  /// number `slot` targets. Slots count both issued and skipped refresh
+  /// opportunities, so the mapping is stable under a skipping policy.
+  constexpr std::uint32_t refresh_stripe_of_slot(std::int64_t slot) const {
+    return static_cast<std::uint32_t>(slot % refresh_window_refs);
+  }
+  /// Stripe containing `row` — the inverse of refresh_stripe_of_slot for
+  /// reasoning about when a given row's victims are reset.
+  constexpr std::uint32_t refresh_stripe_of_row(std::uint32_t row) const {
+    return row / refresh_stripe_rows();
   }
 
   /// Flattens (rank, bank-in-rank) to a per-channel bank index; the

@@ -74,6 +74,26 @@ Picoseconds VariationModel::line_min_trcd(std::uint32_t bank, std::uint32_t row,
                      static_cast<std::int64_t>(u * static_cast<double>(cfg_.line_jitter.count))};
 }
 
+Picoseconds VariationModel::row_retention(std::uint32_t bank,
+                                          std::uint32_t row) const {
+  EASYDRAM_EXPECTS(bank < geo_.banks_per_channel() && row < geo_.rows_per_bank);
+  const double cls = to_unit_double(hash_mix(cfg_.seed ^ 0x4E7E4710, bank, row));
+  const double pos = to_unit_double(hash_mix(cfg_.seed ^ 0x4E7E4711, bank, row));
+  const double base = static_cast<double>(cfg_.retention_base.count);
+  // Class boundaries in multiples of the base window: weakest [1, 2),
+  // weak [2, 4), strong [4, 16).
+  double lo = 4.0, hi = 16.0;
+  if (cls < cfg_.retention_p_weakest) {
+    lo = 1.0;
+    hi = 2.0;
+  } else if (cls < cfg_.retention_p_weakest + cfg_.retention_p_weak) {
+    lo = 2.0;
+    hi = 4.0;
+  }
+  return Picoseconds{
+      static_cast<std::int64_t>(base * (lo + pos * (hi - lo)))};
+}
+
 bool VariationModel::rowclone_pair_ok(std::uint32_t bank, std::uint32_t src_row,
                                       std::uint32_t dst_row) const {
   if (!geo_.same_subarray(src_row, dst_row)) return false;

@@ -37,6 +37,30 @@ struct VariationConfig {
   /// its Init speedups (36.7x NoTS / 1.8x TS, both fallback-sensitive)
   /// imply only ~1% of fixed-source pairs fall back.
   double rowclone_pair_success = 0.99;
+
+  // --- Retention-time model (RAIDR-style refresh skipping) -----------------
+  //
+  // Deterministic per-row retention time, seeded from the same `seed` as
+  // the tRCD field (distinct hash salts, so the two fields are
+  // independent). Real DRAM retention is strongly bimodal: almost every
+  // cell retains for seconds, and a tiny leaky population sits near the
+  // 64 ms JEDEC floor. RAIDR's measured distribution (Liu+, ISCA'12) puts
+  // ~1e-3 of rows below 256 ms in a 32 GiB pool; the class probabilities
+  // below reproduce that shape so a 64-row refresh stripe lands in the
+  // 256 ms bin ~87% of the time, which is what yields the classic ~70%
+  // REF reduction.
+
+  /// Base retention bin — the guaranteed JEDEC refresh window (64 ms). Row
+  /// retention classes are expressed as multiples of this value, so
+  /// time-compressed scenarios can shrink the whole model coherently.
+  Picoseconds retention_base{64'000'000'000};
+  /// Probability a row retains only [1, 2) x retention_base (the weakest
+  /// class: must be refreshed every window).
+  double retention_p_weakest = 0.00015;
+  /// Probability a row retains only [2, 4) x retention_base.
+  double retention_p_weak = 0.0013;
+  /// All other rows are strong: retention uniform in [4, 16) x
+  /// retention_base.
 };
 
 /// Deterministic synthetic DRAM process variation: per-line minimum reliable
@@ -68,6 +92,13 @@ class VariationModel {
   /// an intra-subarray operation).
   bool rowclone_pair_ok(std::uint32_t bank, std::uint32_t src_row,
                         std::uint32_t dst_row) const;
+
+  /// Retention time of `row` (ps): how long its weakest cell holds data
+  /// after a refresh/activation before it may decay. A pure function of
+  /// (seed, bank, row) — always >= cfg_.retention_base, drawn from the
+  /// three-class model described in VariationConfig. `bank` is the
+  /// per-channel flat index, like every other query on this model.
+  Picoseconds row_retention(std::uint32_t bank, std::uint32_t row) const;
 
  private:
   /// Smooth noise in [0,1] over the bank's (row-in-group, group) plane;

@@ -70,6 +70,12 @@ void MemoryController::on_refresh(std::uint32_t rank) {
   if (options_.mitigator != nullptr) options_.mitigator->on_refresh(rank);
 }
 
+void MemoryController::on_refresh_skipped(std::uint32_t rank) {
+  if (options_.mitigator != nullptr) {
+    options_.mitigator->on_refresh_skipped(rank);
+  }
+}
+
 void MemoryController::flush_mitigation(EasyApi& api) {
   if (pending_victims_.empty()) return;
   injecting_mitigation_ = true;

@@ -84,8 +84,11 @@ class MemoryController final : public Controller, public ActSink {
   /// ActSink: observes this controller's own command stream. Demand ACTs
   /// feed the mitigation policy; the victim refreshes the policy requests
   /// are collected here and injected by the next flush_mitigation().
+  /// Issued and skipped refresh slots are both forwarded so the policy's
+  /// retention-window clock keeps wall pace under a skipping regime.
   void on_act(const dram::DramAddress& a) override;
   void on_refresh(std::uint32_t rank) override;
+  void on_refresh_skipped(std::uint32_t rank) override;
 
  private:
   /// Injects one targeted-refresh program per collected victim row and

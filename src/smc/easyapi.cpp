@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "smc/refresh_policy.hpp"
+
 namespace easydram::smc {
 
 EasyApi::EasyApi(tile::EasyTile& tile, dram::DramDevice& device,
@@ -250,12 +252,27 @@ bender::ReadbackEntry EasyApi::rdback_cacheline() {
 void EasyApi::refresh_rank_if_due(std::uint32_t rank) {
   const dram::TimingParams& t = device_->timing();
   // Converge: charged refreshes advance the emulated timeline, which can
-  // make one more refresh due; tRFC << tREFI guarantees termination.
+  // make one more refresh due; tRFC << tREFI guarantees termination
+  // (skipped slots advance the slot count without advancing time, so they
+  // strictly approach `due` too).
   for (int guard = 0; guard < 1'000'000; ++guard) {
     const Picoseconds now = keeper_->emulated_now();
     const std::int64_t due = device_->refreshes_due(now);
-    if (device_->refreshes_issued(rank) >= due) return;
-    const bool last = device_->refreshes_issued(rank) + 1 == due;
+    const std::int64_t slot = device_->refresh_slots(rank);
+    if (slot >= due) return;
+    if (refresh_policy_ != nullptr && !refresh_policy_->should_issue(rank, slot)) {
+      // Skipped slot: the round-robin position advances, nothing issues,
+      // and no timeline is charged — the command-slot/energy saving the
+      // RAIDR scenarios measure. The policy decision itself is treated as
+      // free, like the hardware refresh counter it replaces.
+      device_->skip_refresh(rank);
+      ++stats_.refreshes_skipped;
+      // Window-tracking observers (Graphene) still need the slot's tREFI
+      // of retention-window time even though no REF issued.
+      if (act_sink_ != nullptr) act_sink_->on_refresh_skipped(rank);
+      continue;
+    }
+    const bool last = slot + 1 == due;
     // Only a refresh whose tRFC window overlaps "now" can delay current
     // requests; earlier catch-up refreshes overlapped compute phases and
     // run in setup mode (uncharged).

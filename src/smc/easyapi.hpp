@@ -16,6 +16,8 @@
 
 namespace easydram::smc {
 
+class RefreshPolicy;
+
 /// Aggregate statistics of one EasyAPI instance.
 struct ApiStats {
   std::int64_t requests_received = 0;
@@ -24,7 +26,12 @@ struct ApiStats {
   std::int64_t commands_executed = 0;
   std::int64_t rowclone_attempts = 0;
   std::int64_t rowclone_successes = 0;
+  /// REF commands actually sent to the device by refresh_if_due().
   std::int64_t refreshes_issued = 0;
+  /// Refresh slots the installed RefreshPolicy elected to skip (0 under
+  /// the default all-rows regime). refreshes_issued + refreshes_skipped
+  /// equals the refresh slots the pacing machinery consumed.
+  std::int64_t refreshes_skipped = 0;
   std::uint32_t violations_seen = 0;
   /// Total DRAM-interface busy time of timeline-charged batches.
   Picoseconds dram_busy{};
@@ -42,6 +49,11 @@ class ActSink {
  public:
   virtual void on_act(const dram::DramAddress& a) = 0;
   virtual void on_refresh(std::uint32_t rank) = 0;
+  /// A refresh slot the installed RefreshPolicy skipped (refresh_if_due
+  /// consumed it without queueing a REF). Lets window-tracking observers
+  /// keep retention-window time even though no command issued; defaults
+  /// to a no-op and never fires under the all-rows regime.
+  virtual void on_refresh_skipped(std::uint32_t /*rank*/) {}
 
  protected:
   ~ActSink() = default;  ///< Never owned/deleted through the interface.
@@ -60,6 +72,12 @@ class ActSink {
 /// argument that defaults to 0, so single-rank controller code is unchanged.
 /// EasyApi implements BankStateView so scheduling policies can query open
 /// rows through a plain virtual call with no closure indirection.
+///
+/// Units: `core_cycles` arguments are programmable-core cycles (the
+/// EasyTile's 100 MHz clock); `Picoseconds` arguments are device-timeline
+/// durations; `issue_proc_cycle` tags are emulated-processor cycles.
+/// Thread-safety: none — an EasyApi belongs to its channel's
+/// (single-threaded) controller loop, like everything it fronts.
 class EasyApi final : public BankStateView {
  public:
   EasyApi(tile::EasyTile& tile, dram::DramDevice& device,
@@ -109,6 +127,14 @@ class EasyApi final : public BankStateView {
   /// sink must outlive this EasyApi or be cleared before destruction.
   void set_act_sink(ActSink* sink) { act_sink_ = sink; }
 
+  /// Installs (or clears, with nullptr) the refresh-skipping policy
+  /// consulted once per refresh slot by refresh_if_due(). Null behaves
+  /// exactly like AllRowsRefreshPolicy — every slot issues — at zero cost
+  /// on the pacing path. Non-owning: the policy (owned per-channel by the
+  /// system layer) must outlive this EasyApi or be cleared first.
+  void set_refresh_policy(RefreshPolicy* policy) { refresh_policy_ = policy; }
+  RefreshPolicy* refresh_policy() const { return refresh_policy_; }
+
   /// Setup mode: API calls cost nothing on any timeline and batches execute
   /// uncharged. Used by offline phases the paper performs before emulation
   /// begins: DRAM characterization, RowClone pair verification, catch-up
@@ -133,14 +159,21 @@ class EasyApi final : public BankStateView {
 
   // --- Command batch construction (Table 2: ddr_*) --------------------------
 
+  /// Queue one DDR command into the current batch (nothing reaches the
+  /// device until flush_commands). Addresses must lie within the
+  /// geometry; `data` spans exactly 64 bytes. Each call charges one
+  /// command-push cost on the programmable core.
   void ddr_activate(std::uint32_t bank, std::uint32_t row, std::uint32_t rank = 0);
   void ddr_precharge(std::uint32_t bank, std::uint32_t rank = 0);
   void ddr_read(const dram::DramAddress& a, bool capture = true);
   void ddr_write(const dram::DramAddress& a, std::span<const std::uint8_t> data);
   void ddr_refresh(std::uint32_t rank = 0);
-  /// Technique escape hatch: issue exactly `gap` after the previous command.
+  /// Technique escape hatch: issue exactly `gap` (Picoseconds) after the
+  /// previous command, nominal spacing be damned.
   void ddr_exact(dram::Command cmd, const dram::DramAddress& a, Picoseconds gap,
                  bool capture = false);
+  /// Queue an idle wait of at least `duration` (Picoseconds, rounded up
+  /// to whole DRAM clocks).
   void ddr_wait(Picoseconds duration);
 
   // --- High-level sequences (software library, Table 2 bottom) -------------
@@ -173,29 +206,41 @@ class EasyApi final : public BankStateView {
   /// compute phases).
   bender::ExecutionResult flush_commands(bool charge = true);
 
+  /// Commands queued in the unflushed batch.
   std::size_t batch_size() const { return program_.size(); }
 
-  /// Readback buffer access (Table 2: rdback_cacheline).
+  /// Readback buffer access (Table 2: rdback_cacheline). Precondition for
+  /// rdback_cacheline: !rdback_empty(); entries come back in batch order
+  /// and are invalidated by the next flush_commands.
   bool rdback_empty() const { return rdback_cursor_ >= readback_.size(); }
   bender::ReadbackEntry rdback_cacheline();
 
   // --- Maintenance -----------------------------------------------------------
 
-  /// Issues any refresh commands the emulated timeline owes (one per tREFI
-  /// per rank). Catch-up refreshes that would have overlapped processor
-  /// compute phases keep DRAM state fresh without charging the timeline;
-  /// a refresh still in flight "now" is charged, delaying the current
-  /// request as in a real controller.
+  /// Consumes any refresh slots the emulated timeline owes (one per tREFI
+  /// per rank): each slot either issues a REF or — when the installed
+  /// RefreshPolicy declines it — advances the device's round-robin
+  /// position for free (DramDevice::skip_refresh; a skipped slot costs
+  /// nothing on any timeline, which is the entire benefit of
+  /// retention-aware refresh). Catch-up refreshes that would have
+  /// overlapped processor compute phases keep DRAM state fresh without
+  /// charging the timeline; a refresh still in flight "now" is charged,
+  /// delaying the current request as in a real controller.
   void refresh_if_due();
 
   // --- Introspection ---------------------------------------------------------
 
+  /// Borrowed views of the channel's fixed collaborators (valid for this
+  /// EasyApi's lifetime; all times in them are Picoseconds).
   const dram::TimingParams& timing() const { return device_->timing(); }
   const dram::Geometry& geometry() const { return device_->geometry(); }
   const AddressMapper& mapper() const { return *mapper_; }
   timescale::TimeKeeper& keeper() { return *keeper_; }
   tile::EasyTile& tile() { return *tile_; }
+  /// Running totals since construction (see ApiStats field docs).
   const ApiStats& stats() const { return stats_; }
+  /// Direct device access for setup phases (characterization fixtures);
+  /// demand-path code must go through the batch interface instead.
   dram::DramDevice& device_for_setup() { return *device_; }
 
  private:
@@ -242,6 +287,7 @@ class EasyApi final : public BankStateView {
 
   bool setup_mode_ = false;
   ActSink* act_sink_ = nullptr;
+  RefreshPolicy* refresh_policy_ = nullptr;
   ApiStats stats_;
 };
 

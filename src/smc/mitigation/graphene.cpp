@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
-#include "dram/device.hpp"
 
 namespace easydram::smc::mitigation {
 
@@ -13,7 +12,7 @@ GrapheneMitigator::GrapheneMitigator(const MitigationConfig& cfg,
       threshold_(cfg.graphene_threshold),
       table_rows_(cfg.graphene_table_rows),
       tables_(geo.banks_per_channel()),
-      refs_seen_(geo.ranks_per_channel, 0) {
+      slots_seen_(geo.ranks_per_channel, 0) {
   EASYDRAM_EXPECTS(threshold_ > 0);
   EASYDRAM_EXPECTS(table_rows_ > 0);
 }
@@ -74,19 +73,30 @@ void GrapheneMitigator::on_activate(const dram::DramAddress& a,
   }
 }
 
-void GrapheneMitigator::on_refresh(std::uint32_t rank) {
-  EASYDRAM_EXPECTS(rank < refs_seen_.size());
+void GrapheneMitigator::note_refresh_slot(std::uint32_t rank) {
+  EASYDRAM_EXPECTS(rank < slots_seen_.size());
   // Counters estimate activations per retention window: reset when the
-  // rank's REF sequence completes one (8192 REFs = tREFW), not on every
-  // tREFI tick — a tREFI window is far too short for any threshold the
-  // policy would realistically use.
-  if (++refs_seen_[rank] % dram::kRefsPerRetentionWindow != 0) return;
+  // rank's refresh-slot sequence completes one (refresh_window_refs slots
+  // = tREFW of wall time), not on every tREFI tick — a tREFI window is
+  // far too short for any threshold the policy would realistically use.
+  // Slots, not issued REFs: under a retention-aware skipping policy the
+  // issued-REF count advances slower than the wall clock, and a window
+  // keyed off it would stretch by the skip ratio.
+  if (++slots_seen_[rank] % geo_.refresh_window_refs != 0) return;
   for (std::uint32_t bank = 0; bank < geo_.num_banks(); ++bank) {
     Table& t = tables_[geo_.flat_bank(rank, bank)];
     t.entries.clear();
     t.spill = 0;
   }
   ++stats_.window_resets;
+}
+
+void GrapheneMitigator::on_refresh(std::uint32_t rank) {
+  note_refresh_slot(rank);
+}
+
+void GrapheneMitigator::on_refresh_skipped(std::uint32_t rank) {
+  note_refresh_slot(rank);
 }
 
 std::int64_t GrapheneMitigator::tracked_count(std::uint32_t bank,

@@ -10,9 +10,10 @@ namespace easydram::smc::mitigation {
 /// one Misra-Gries frequent-items summary per bank estimates each row's
 /// activation count within the current refresh window. An entry crossing
 /// the threshold refreshes BOTH neighbors of the aggressor and re-arms its
-/// counter; tables reset when a full retention window's worth of REF
-/// commands (dram::kRefsPerRetentionWindow per rank) has elapsed, matching
-/// the window the threshold is defined over.
+/// counter; tables reset when a full retention window's worth of refresh
+/// slots (Geometry::refresh_window_refs per rank, counting slots a
+/// retention-aware policy skipped as well as REFs issued) has elapsed,
+/// matching the wall-time window the threshold is defined over.
 ///
 /// The Misra-Gries summary guarantees any row activated more than
 /// (window activations) / (table_rows + 1) times holds an entry — the
@@ -30,6 +31,7 @@ class GrapheneMitigator final : public RowHammerMitigator {
   void on_activate(const dram::DramAddress& a,
                    std::vector<dram::DramAddress>& victims) override;
   void on_refresh(std::uint32_t rank) override;
+  void on_refresh_skipped(std::uint32_t rank) override;
   std::string_view name() const override { return "Graphene"; }
 
   /// Test introspection: estimated count tracked for (rank, bank, row), or
@@ -60,11 +62,16 @@ class GrapheneMitigator final : public RowHammerMitigator {
   void trigger(Entry& entry, const dram::DramAddress& a,
                std::vector<dram::DramAddress>& victims);
 
+  /// One refresh slot (issued REF or policy-skipped) of `rank` elapsed;
+  /// resets the rank's tables once a whole window of slots has passed.
+  void note_refresh_slot(std::uint32_t rank);
+
   dram::Geometry geo_;
   std::int64_t threshold_;
   std::size_t table_rows_;
-  std::vector<Table> tables_;            ///< Indexed by flat (rank, bank).
-  std::vector<std::int64_t> refs_seen_;  ///< Per rank, for window resets.
+  std::vector<Table> tables_;  ///< Indexed by flat (rank, bank).
+  /// Per rank: refresh slots seen (issued + skipped), for window resets.
+  std::vector<std::int64_t> slots_seen_;
 };
 
 }  // namespace easydram::smc::mitigation

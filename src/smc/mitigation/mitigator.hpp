@@ -46,6 +46,14 @@ class RowHammerMitigator {
   /// (PARA) ignore it.
   virtual void on_refresh(std::uint32_t rank) = 0;
 
+  /// One refresh slot of `rank` a retention-aware refresh policy elected
+  /// to skip (see smc::RefreshPolicy). No REF reached the device, but the
+  /// slot still marks one tREFI of wall time — policies whose window
+  /// state models the *retention window* (Graphene) must count it, or a
+  /// skipping regime would stretch their windows by the skip ratio.
+  /// Default no-op: never called under the all-rows regime.
+  virtual void on_refresh_skipped(std::uint32_t /*rank*/) {}
+
   virtual std::string_view name() const = 0;
 
   const MitigationStats& stats() const { return stats_; }

@@ -1,0 +1,101 @@
+#include "smc/retention_profiler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace easydram::smc {
+
+namespace {
+
+void count_bin(RaidrBinStats& s, std::uint32_t m) {
+  ++s.stripes_total;
+  if (m >= 4) {
+    ++s.stripes_x4;
+  } else if (m == 2) {
+    ++s.stripes_x2;
+  } else {
+    ++s.stripes_x1;
+  }
+}
+
+void finish_stats(RaidrBinStats& s, const RaidrBinning& b) {
+  double acc = 0.0;
+  for (const std::uint8_t m : b.multipliers) acc += 1.0 / m;
+  s.issue_fraction =
+      b.multipliers.empty() ? 1.0 : acc / static_cast<double>(b.multipliers.size());
+}
+
+}  // namespace
+
+RaidrBinning profile_retention_bins(const dram::DramDevice& device,
+                                    const RetentionProfilerOptions& opts,
+                                    RaidrBinStats* stats) {
+  // max_multiplier is capped at 128 (the largest power of two a
+  // RaidrBinning's uint8 multiplier can hold after doubling).
+  EASYDRAM_EXPECTS(opts.max_multiplier >= 1 && opts.max_multiplier <= 128 &&
+                   opts.sample_stride >= 1);
+  const dram::Geometry& geo = device.geometry();
+  const dram::VariationModel& variation = device.variation();
+  Picoseconds window = opts.window;
+  if (window.count == 0) {
+    window = Picoseconds{device.timing().tREFI.count *
+                         static_cast<std::int64_t>(geo.refresh_window_refs)};
+  }
+  EASYDRAM_EXPECTS(window.count > 0);
+
+  RaidrBinning b;
+  b.window_refs = geo.refresh_window_refs;
+  b.ranks = geo.ranks_per_channel;
+  b.multipliers.resize(static_cast<std::size_t>(b.ranks) * b.window_refs);
+
+  RaidrBinStats local{};
+  const std::uint32_t stripe_rows = geo.refresh_stripe_rows();
+  for (std::uint32_t rank = 0; rank < b.ranks; ++rank) {
+    for (std::uint32_t stripe = 0; stripe < b.window_refs; ++stripe) {
+      const std::uint32_t first = stripe * stripe_rows;
+      const std::uint32_t last =
+          std::min(first + stripe_rows, geo.rows_per_bank);
+      // Weakest *sampled* row over every bank of the rank. The stride
+      // walks the (bank-major) flat sample index so a stride above the
+      // stripe's row count still samples some rows of most banks.
+      std::int64_t min_ps = std::numeric_limits<std::int64_t>::max();
+      std::uint32_t sample = 0;
+      for (std::uint32_t bank = 0; bank < geo.num_banks(); ++bank) {
+        const std::uint32_t fbank = geo.flat_bank(rank, bank);
+        for (std::uint32_t row = first; row < last; ++row, ++sample) {
+          if (sample % opts.sample_stride != 0) continue;
+          min_ps =
+              std::min(min_ps, variation.row_retention(fbank, row).count);
+          ++local.rows_profiled;
+        }
+      }
+      // An unsampled stripe (stride larger than the stripe) must stay at
+      // the conservative multiplier.
+      std::uint32_t m = 1;
+      if (min_ps != std::numeric_limits<std::int64_t>::max()) {
+        const std::int64_t budget = min_ps - opts.guard_band.count;
+        while (m * 2 <= opts.max_multiplier &&
+               static_cast<std::int64_t>(m) * 2 * window.count <= budget) {
+          m *= 2;
+        }
+      }
+      b.multipliers[static_cast<std::size_t>(rank) * b.window_refs + stripe] =
+          static_cast<std::uint8_t>(m);
+      count_bin(local, m);
+    }
+  }
+  finish_stats(local, b);
+  if (stats != nullptr) *stats = local;
+  return b;
+}
+
+RaidrBinStats summarize_binning(const RaidrBinning& binning) {
+  RaidrBinStats s{};
+  for (const std::uint8_t m : binning.multipliers) count_bin(s, m);
+  finish_stats(s, binning);
+  return s;
+}
+
+}  // namespace easydram::smc

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "dram/device.hpp"
+#include "smc/refresh_policy.hpp"
+
+namespace easydram::smc {
+
+/// Options of the offline retention-profiling pass.
+struct RetentionProfilerOptions {
+  /// Duration of one full refresh round (tREFI x Geometry::
+  /// refresh_window_refs — the real pass period of the round-robin). A
+  /// stripe may be placed in bin m only when m x window <= its measured
+  /// minimum retention minus the guard band. 0 = derive from the device's
+  /// timing and geometry.
+  Picoseconds window{0};
+  /// Largest allowed refresh-interval multiplier; bins are powers of two
+  /// up to this (1, 2, 4 by default — RAIDR's 64/128/256 ms bins).
+  /// Precondition: 1 <= max_multiplier <= 128 (RaidrBinning stores
+  /// multipliers as uint8).
+  std::uint32_t max_multiplier = 4;
+  /// Safety margin subtracted from every measured retention time before
+  /// binning (models profiling at elevated temperature / voltage stress).
+  Picoseconds guard_band{0};
+  /// Profile every k-th row of a stripe (1 = exhaustive). A stride above 1
+  /// models an incomplete profiling pass: unsampled weak rows can land
+  /// their stripe in a too-slow bin — the misbinning risk the
+  /// raidr_misbinning scenario sweeps against the device's retention
+  /// ground truth.
+  std::uint32_t sample_stride = 1;
+};
+
+/// Offline retention characterization (the pass RAIDR performs once at
+/// boot): reads the modeled per-row retention field of `device` — the
+/// equivalent of the disable-refresh-and-test measurement the paper's
+/// platform would run as a setup phase, uncharged on any timeline — and
+/// bins every refresh stripe of every rank by its weakest sampled row.
+/// Deterministic: a pure function of (device variation seed, options).
+/// `stats`, when non-null, receives the bin histogram of this binning.
+RaidrBinning profile_retention_bins(const dram::DramDevice& device,
+                                    const RetentionProfilerOptions& opts,
+                                    RaidrBinStats* stats = nullptr);
+
+/// Histogram + steady-state issue fraction of an existing binning.
+RaidrBinStats summarize_binning(const RaidrBinning& binning);
+
+}  // namespace easydram::smc

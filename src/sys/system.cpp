@@ -70,11 +70,28 @@ EasyDramSystem::EasyDramSystem(const SystemConfig& cfg)
   EASYDRAM_EXPECTS(cfg.geometry.ranks_per_channel >= 1);
   channels_.reserve(cfg.geometry.channels);
   mitigators_.reserve(cfg.geometry.channels);
+  refresh_policies_.reserve(cfg.geometry.channels);
   for (std::uint32_t ch = 0; ch < cfg.geometry.channels; ++ch) {
     channels_.push_back(std::make_unique<ChannelSlice>(cfg_, *mapper_, ch));
-    if (cfg_.track_row_hammer) channels_.back()->device.set_hammer_tracking(true);
+    ChannelSlice& slice = *channels_.back();
+    if (cfg_.track_row_hammer) slice.device.set_hammer_tracking(true);
+    if (cfg_.track_retention) slice.device.set_retention_tracking(true);
     mitigators_.push_back(
         smc::mitigation::make_mitigator(cfg_.mitigation, cfg_.geometry, ch));
+    // Retention-aware refresh: profile this channel's (independently
+    // seeded) chip once at power-on and install the binning. An offline
+    // setup pass, so it charges no timeline — matching how the weak-row
+    // and RowClone characterizations run before emulation begins.
+    if (cfg_.refresh == smc::RefreshKind::kRaidr) {
+      smc::RaidrBinStats stats{};
+      refresh_policies_.push_back(std::make_unique<smc::RaidrRefreshPolicy>(
+          smc::profile_retention_bins(slice.device, cfg_.retention_profiler,
+                                      &stats)));
+      refresh_bin_stats_.push_back(stats);
+    } else {
+      refresh_policies_.push_back(nullptr);
+    }
+    slice.api.set_refresh_policy(refresh_policies_.back().get());
   }
   rebuild_controllers();
 }
@@ -111,6 +128,7 @@ smc::ApiStats EasyDramSystem::smc_stats() const {
     total.rowclone_attempts += s.rowclone_attempts;
     total.rowclone_successes += s.rowclone_successes;
     total.refreshes_issued += s.refreshes_issued;
+    total.refreshes_skipped += s.refreshes_skipped;
     total.violations_seen |= s.violations_seen;
     total.dram_busy += s.dram_busy;
   }
@@ -134,6 +152,47 @@ std::int64_t EasyDramSystem::max_hammer_exposure() const {
   std::int64_t m = 0;
   for (const auto& ch : channels_) {
     m = std::max(m, ch->device.max_hammer_exposure());
+  }
+  return m;
+}
+
+smc::RaidrBinStats EasyDramSystem::refresh_bin_stats() const {
+  smc::RaidrBinStats total{};
+  double issue_acc = 0.0;
+  for (const smc::RaidrBinStats& s : refresh_bin_stats_) {
+    total.stripes_total += s.stripes_total;
+    total.stripes_x1 += s.stripes_x1;
+    total.stripes_x2 += s.stripes_x2;
+    total.stripes_x4 += s.stripes_x4;
+    total.rows_profiled += s.rows_profiled;
+    issue_acc += s.issue_fraction * static_cast<double>(s.stripes_total);
+  }
+  if (total.stripes_total > 0) {
+    total.issue_fraction = issue_acc / static_cast<double>(total.stripes_total);
+  }
+  return total;
+}
+
+std::int64_t EasyDramSystem::refresh_slots_consumed() const {
+  std::int64_t total = 0;
+  for (const auto& ch : channels_) {
+    for (std::uint32_t rank = 0; rank < ch->device.num_ranks(); ++rank) {
+      total += ch->device.refresh_slots(rank);
+    }
+  }
+  return total;
+}
+
+std::int64_t EasyDramSystem::retention_violations() const {
+  std::int64_t total = 0;
+  for (const auto& ch : channels_) total += ch->device.retention_violations();
+  return total;
+}
+
+Picoseconds EasyDramSystem::max_retention_overshoot() const {
+  Picoseconds m{};
+  for (const auto& ch : channels_) {
+    m = std::max(m, ch->device.max_retention_overshoot());
   }
   return m;
 }

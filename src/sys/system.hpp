@@ -14,6 +14,8 @@
 #include "smc/controller.hpp"
 #include "smc/easyapi.hpp"
 #include "smc/mitigation/mitigator.hpp"
+#include "smc/refresh_policy.hpp"
+#include "smc/retention_profiler.hpp"
 #include "smc/rowclone_map.hpp"
 #include "smc/trcd_profiler.hpp"
 #include "sys/completion.hpp"
@@ -77,6 +79,21 @@ struct SystemConfig {
   /// scenarios turn it on; it adds per-ACT bookkeeping the paper-figure
   /// scenarios never read.
   bool track_row_hammer = false;
+
+  /// Refresh regime each channel's refresh pacing runs (kAllRows by
+  /// default — bit-identical to every pre-RAIDR run). kRaidr profiles each
+  /// channel's retention field at construction (an uncharged setup phase,
+  /// like the paper's offline characterization passes) with
+  /// `retention_profiler` options and installs a per-channel
+  /// RaidrRefreshPolicy; channels profile independently because they are
+  /// physically distinct modules.
+  smc::RefreshKind refresh = smc::RefreshKind::kAllRows;
+  smc::RetentionProfilerOptions retention_profiler{};
+
+  /// Enables the devices' ground-truth retention-violation accounting
+  /// (see DramDevice::retention_violations). Off by default; the
+  /// raidr_misbinning scenario turns it on.
+  bool track_retention = false;
 };
 
 /// Convenience presets matching the paper's evaluated configurations.
@@ -102,6 +119,11 @@ SystemConfig validation_reference();     ///< §6: direct 1 GHz RTL reference.
 /// One instance models one power-on: construct, (optionally) run setup
 /// phases such as characterization or RowClone allocation through `api()`,
 /// then call run().
+///
+/// Units: `paddr` arguments are byte addresses in the mapped physical
+/// space; `now` arguments are emulated-processor cycles; returned times
+/// are Picoseconds of FPGA wall. Thread-safety: none — one system is
+/// driven by one thread; parameter sweeps build one system per task.
 class EasyDramSystem final : public cpu::MemoryBackend {
  public:
   explicit EasyDramSystem(const SystemConfig& cfg);
@@ -150,6 +172,11 @@ class EasyDramSystem final : public cpu::MemoryBackend {
 
   // --- cpu::MemoryBackend ---------------------------------------------------
 
+  /// Submit one request at emulated-processor cycle `now` (must be
+  /// non-decreasing across calls) and return its completion id; wait(id)
+  /// pumps the controllers until that id completes and consumes it (each
+  /// id is waitable exactly once). submit_profile's `trcd` is the
+  /// Picoseconds ACT->RD spacing to test.
   std::uint64_t submit_read(std::uint64_t paddr, std::int64_t now) override;
   std::uint64_t submit_write(std::uint64_t paddr, std::int64_t now) override;
   std::uint64_t submit_rowclone(std::uint64_t src_paddr, std::uint64_t dst_paddr,
@@ -178,6 +205,18 @@ class EasyDramSystem final : public cpu::MemoryBackend {
   /// System-wide bitflip-window exposure: the maximum over every channel
   /// device (0 unless `track_row_hammer` was set).
   std::int64_t max_hammer_exposure() const;
+  /// Aggregate RAIDR bin histogram summed over every channel's profiled
+  /// binning (all-zero, issue_fraction 1.0, when `refresh` is kAllRows).
+  smc::RaidrBinStats refresh_bin_stats() const;
+  /// Refresh slots consumed across every channel and rank (issued +
+  /// skipped; equals smc_stats().refreshes_issued + refreshes_skipped once
+  /// the run has drained).
+  std::int64_t refresh_slots_consumed() const;
+  /// Ground-truth retention violations summed over every channel device
+  /// (0 unless `track_retention` was set).
+  std::int64_t retention_violations() const;
+  /// Worst retention overshoot over every channel device.
+  Picoseconds max_retention_overshoot() const;
 
  private:
   /// One memory channel: device + tile + timeline + API + controller.
@@ -222,6 +261,14 @@ class EasyDramSystem final : public cpu::MemoryBackend {
   /// — NOT by the controllers — so policy state and stats survive
   /// controller rebuilds (enable_rowclone, install_weak_row_filter).
   std::vector<std::unique_ptr<smc::mitigation::RowHammerMitigator>> mitigators_;
+  /// Per-channel refresh policies (entries null for kAllRows — EasyApi's
+  /// null policy IS the all-rows regime, at zero pacing cost). Owned here
+  /// for the same rebuild-survival reason as the mitigators; installed on
+  /// each channel's EasyApi at construction.
+  std::vector<std::unique_ptr<smc::RefreshPolicy>> refresh_policies_;
+  /// Bin histograms recorded when construction profiled each channel
+  /// (empty for kAllRows).
+  std::vector<smc::RaidrBinStats> refresh_bin_stats_;
   smc::RowCloneMap clone_map_;
   std::optional<smc::BloomFilter> weak_rows_;
   bool rowclone_enabled_ = false;

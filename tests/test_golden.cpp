@@ -52,6 +52,10 @@ constexpr GoldenEntry kGolden[] = {
     {"fig8_latency_profile", 0x0BEC113C08C4FC67ull},
     {"mitigation_overhead", 0x44FF6F4B882509B9ull},
     {"quickstart", 0x030BF38B297270D9ull},
+    {"raidr_baseline", 0xF41CB380C1C0612Cull},
+    {"raidr_misbinning", 0xEB18E22701594F4Eull},
+    {"raidr_savings", 0xA27DF139B4AC7DEAull},
+    {"raidr_vs_mitigation", 0xC92AB453CEB6CD09ull},
     {"rank_interleaving", 0x6B607F7263283940ull},
     {"rowhammer_baseline", 0x26297656C3C21DA7ull},
     {"rowhammer_graphene", 0x58C1ADC7E933FD8Cull},

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Documentation gate: dead intra-repo links and scenario coverage.
+
+Checks, over README.md and every markdown file under docs/:
+
+1. Every relative markdown link (no URL scheme) resolves to an existing
+   file or directory in the repository (anchors are stripped).
+2. docs/scenarios.md names every scenario the CLI reports via --list, so
+   a new scenario cannot land undocumented.
+
+Usage:
+    tools/check_docs.py [--cli PATH/TO/easydram_cli] [--repo PATH]
+
+Without --cli the scenario-coverage check falls back to parsing the
+registration calls in src/cli/scenarios_*.cpp, so the gate also works
+before a build exists.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+REGISTER_RE = re.compile(r"r\.add\(\{\"([a-z0-9_]+)\"")
+
+
+def doc_files(repo: pathlib.Path):
+    files = [repo / "README.md"]
+    files += sorted((repo / "docs").glob("**/*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_links(repo: pathlib.Path) -> list:
+    errors = []
+    for doc in doc_files(repo):
+        for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if SCHEME_RE.match(target):  # http:, https:, mailto: ...
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:  # Pure in-page anchor.
+                    continue
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    rel = doc.relative_to(repo)
+                    errors.append(f"{rel}:{lineno}: dead link -> {target}")
+    return errors
+
+
+def scenario_names(repo: pathlib.Path, cli: str | None) -> set:
+    if cli:
+        out = subprocess.run([cli, "--list"], check=True,
+                             capture_output=True, text=True).stdout
+        # Scenario names are the non-indented lines of --list output.
+        return {line.strip() for line in out.splitlines()
+                if line and not line.startswith(" ")}
+    names = set()
+    for src in sorted((repo / "src" / "cli").glob("scenarios_*.cpp")):
+        names.update(REGISTER_RE.findall(src.read_text()))
+    return names
+
+
+def check_scenario_coverage(repo: pathlib.Path, cli: str | None) -> list:
+    names = scenario_names(repo, cli)
+    if not names:
+        return ["no scenarios found (bad --cli path or source layout?)"]
+    reference = (repo / "docs" / "scenarios.md").read_text()
+    # Whole-word match: "raidr_baseline" in the text must not satisfy a
+    # future scenario named "raidr" (scenario names are \w-only, so \b
+    # brackets them exactly).
+    return [f"docs/scenarios.md: scenario '{n}' is not documented"
+            for n in sorted(names)
+            if not re.search(rf"\b{re.escape(n)}\b", reference)]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--cli", help="easydram_cli binary for --list coverage")
+    ap.add_argument("--repo", default=str(pathlib.Path(__file__).parent.parent),
+                    help="repository root (default: this script's parent)")
+    args = ap.parse_args()
+    repo = pathlib.Path(args.repo).resolve()
+
+    errors = check_links(repo) + check_scenario_coverage(repo, args.cli)
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    if not errors:
+        n_docs = len(doc_files(repo))
+        n_scen = len(scenario_names(repo, args.cli))
+        print(f"check_docs OK: {n_docs} docs, links clean, "
+              f"{n_scen} scenarios documented")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
