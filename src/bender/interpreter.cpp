@@ -69,7 +69,7 @@ ExecutionResult Interpreter::execute(const Program& program, Picoseconds start) 
         // Command placement: exact commands issue min_gap after the previous
         // command; nominal commands are additionally delayed until the
         // device's timing parameters allow them.
-        Picoseconds issue_at = std::max(t, last_cmd_issue + Picoseconds{inst.min_gap_ps});
+        Picoseconds issue_at = std::max(t, last_cmd_issue + inst.min_gap);
         if (inst.respect_nominal) {
           issue_at = std::max(issue_at, device_->earliest_legal(inst.cmd, addr));
         }

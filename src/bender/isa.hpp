@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "common/units.hpp"
 #include "dram/types.hpp"
 
 namespace easydram::bender {
@@ -55,10 +56,10 @@ struct Instruction {
   /// When false the command issues exactly at the cursor, which is how
   /// DRAM techniques violate timings on purpose.
   bool respect_nominal = true;
-  /// kDdr: minimum gap from the previous DDR command's issue time, in
-  /// picoseconds. Exact placement for techniques (e.g. a reduced-tRCD read
-  /// sets min_gap = tRCD_reduced after its ACT with respect_nominal=false).
-  std::int64_t min_gap_ps = 0;
+  /// kDdr: minimum gap from the previous DDR command's issue time. Exact
+  /// placement for techniques (e.g. a reduced-tRCD read sets min_gap =
+  /// tRCD_reduced after its ACT with respect_nominal=false).
+  Picoseconds min_gap{};
   /// kSleep: cycles; kSetReg/kAddReg: value; kLoopBegin: trip count.
   std::uint64_t imm = 0;
   /// kSetReg/kAddReg: destination register.

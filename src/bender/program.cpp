@@ -39,7 +39,7 @@ void Program::ddr_exact(dram::Command cmd, const dram::DramAddress& a,
   inst.capture = capture;
   inst.wdata_index = wdata_index;
   inst.respect_nominal = false;
-  inst.min_gap_ps = min_gap.count;
+  inst.min_gap = min_gap;
   push(inst);
 }
 

@@ -31,7 +31,7 @@ class Program {
   void ddr(dram::Command cmd, const dram::DramAddress& a, bool capture = false,
            std::uint32_t wdata_index = 0);
 
-  /// Appends a DDR command issued exactly `min_gap_ps` after the previous
+  /// Appends a DDR command issued exactly `min_gap` after the previous
   /// DDR command, ignoring nominal timings (DRAM techniques).
   void ddr_exact(dram::Command cmd, const dram::DramAddress& a,
                  Picoseconds min_gap, bool capture = false,

@@ -56,9 +56,9 @@ CopyInitResult run_copyinit_easydram(const sys::SystemConfig& cfg,
   out.rowclones = r.rowclones;
   out.fallbacks = r.rowclone_fallbacks;
   if (r.markers.size() >= 2) {
-    out.measured_cycles = r.markers.back() - r.markers.front();
+    out.measured_cycles = Cycles{r.markers.back() - r.markers.front()};
   } else {
-    out.measured_cycles = r.cycles;
+    out.measured_cycles = Cycles{r.cycles};
   }
   return out;
 }
@@ -76,8 +76,8 @@ double copyinit_speedup_easydram(const sys::SystemConfig& cfg,
   rc.use_rowclone = true;
   const CopyInitResult rowclone = run_copyinit_easydram(cfg, rc, rows);
 
-  return static_cast<double>(cpu.measured_cycles) /
-         static_cast<double>(rowclone.measured_cycles);
+  return static_cast<double>(cpu.measured_cycles.count) /
+         static_cast<double>(rowclone.measured_cycles.count);
 }
 
 double copyinit_speedup_ramulator(workloads::CopyInitParams::Kind kind,
@@ -154,12 +154,12 @@ double cycles_per_load(const sys::SystemConfig& cfg,
   return static_cast<double>(r.cycles) / static_cast<double>(r.loads);
 }
 
-std::int64_t run_kernel_cycles(const sys::SystemConfig& cfg,
-                               std::string_view kernel) {
+Cycles run_kernel_cycles(const sys::SystemConfig& cfg,
+                         std::string_view kernel) {
   sys::EasyDramSystem sysm(cfg);
   auto records = workloads::generate_kernel(kernel);
   cpu::VectorTrace trace(std::move(records));
-  return sysm.run(trace).cycles;
+  return Cycles{sysm.run(trace).cycles};
 }
 
 namespace {

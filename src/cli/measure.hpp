@@ -18,7 +18,7 @@ std::string fmt_size(std::uint64_t bytes);
 
 /// Outcome of one Copy/Init measurement.
 struct CopyInitResult {
-  std::int64_t measured_cycles = 0;  ///< Between the two markers.
+  Cycles measured_cycles{};  ///< Between the two markers.
   std::int64_t rowclones = 0;
   std::int64_t fallbacks = 0;
 };
@@ -63,8 +63,8 @@ double cycles_per_load(const sys::SystemConfig& cfg,
                        std::uint64_t chase_seed = 0x17B);
 
 /// Execution cycles of one named PolyBench kernel on a fresh system.
-std::int64_t run_kernel_cycles(const sys::SystemConfig& cfg,
-                               std::string_view kernel);
+Cycles run_kernel_cycles(const sys::SystemConfig& cfg,
+                         std::string_view kernel);
 
 /// Fig. 13 per-kernel result: tRCD-reduction speedup on EasyDRAM (Bloom-
 /// directed, run to completion) and on the Ramulator-2.0-like baseline

@@ -129,7 +129,7 @@ Json run_fig2(const RunOptions& opts) {
             Frequency::megahertz(50), Frequency::megahertz(50)};
         fpga_rtl.core = cpu::pidram_inorder_core();
         fpga_rtl.hardware_mc = true;
-        fpga_rtl.mc_sched_latency_cycles = 2;  // Two stages at 50 MHz.
+        fpga_rtl.mc_sched_latency = Cycles{2};  // Two stages at 50 MHz.
         return fpga_rtl;
       }
       case 2: return seeded_nts(seed);  // FPGA + software MC, no scaling.

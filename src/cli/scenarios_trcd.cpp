@@ -71,6 +71,9 @@ BankStats summarize_bank(const std::vector<double>& min_trcd,
       double sum = 0;
       for (std::uint32_t g = gblock; g < gblock + 8; ++g) {
         for (std::uint32_t r = rblock; r < rblock + 8; ++r) {
+          // Fixed 8x8 block scan order, independent of thread count; feeds
+          // a coarse character heatmap only.
+          // NOLINT-easydram-next-line(float-accumulation-order)
           sum += min_trcd[g * kRowsPerGroup + r];
         }
       }

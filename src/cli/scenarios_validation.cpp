@@ -132,7 +132,7 @@ Json run_batch_limit(const RunOptions& opts) {
         sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
         cfg.variation.seed = rep_seed(opts, static_cast<int>(task / n));
         cfg.row_batch_limit = kLimits[task % n];
-        return run_kernel_cycles(cfg, "gesummv");
+        return run_kernel_cycles(cfg, "gesummv").count;
       });
 
   TextTable t;
@@ -198,7 +198,7 @@ Json run_scheduler(const RunOptions& opts) {
         sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
         cfg.variation.seed = rep_seed(opts, static_cast<int>(task / n));
         cfg.scheduler_factory = kPolicies[task % n].make;
-        return run_kernel_cycles(cfg, "mvt");
+        return run_kernel_cycles(cfg, "mvt").count;
       });
 
   TextTable t;
@@ -237,9 +237,9 @@ Json run_hardware_mc(const RunOptions& opts) {
         cfg.variation.seed = rep_seed(opts, static_cast<int>(task / 2));
         if (task % 2 == 1) {
           cfg.hardware_mc = true;
-          cfg.mc_sched_latency_cycles = 8;
+          cfg.mc_sched_latency = Cycles{8};
         }
-        return run_kernel_cycles(cfg, "trisolv");
+        return run_kernel_cycles(cfg, "trisolv").count;
       });
 
   TextTable t;

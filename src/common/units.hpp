@@ -39,6 +39,28 @@ constexpr Picoseconds operator""_us(unsigned long long v) { return Picoseconds{s
 constexpr Picoseconds operator""_ms(unsigned long long v) { return Picoseconds{static_cast<std::int64_t>(v) * 1000 * 1000 * 1000}; }
 }  // namespace literals
 
+/// A count of clock cycles in some clock domain (DRAM, SMC core, emulated
+/// processor, FPGA). A strong type for the same reason as Picoseconds: a
+/// raw `std::int64_t window_cycles` and a raw `std::int64_t window_ps` add
+/// and compare silently, and that unit confusion is exactly what the
+/// easydram-lint `raw-time-units` check bans from public headers. Cycles
+/// never carries its clock — converting to real time goes through the
+/// owning domain's Frequency.
+struct Cycles {
+  std::int64_t count = 0;
+
+  constexpr Cycles() = default;
+  constexpr explicit Cycles(std::int64_t c) : count(c) {}
+
+  constexpr auto operator<=>(const Cycles&) const = default;
+
+  constexpr Cycles operator+(Cycles o) const { return Cycles{count + o.count}; }
+  constexpr Cycles operator-(Cycles o) const { return Cycles{count - o.count}; }
+  constexpr Cycles& operator+=(Cycles o) { count += o.count; return *this; }
+  constexpr Cycles& operator-=(Cycles o) { count -= o.count; return *this; }
+  constexpr Cycles operator*(std::int64_t k) const { return Cycles{count * k}; }
+};
+
 /// A clock frequency in hertz. Converts between cycle counts and Picoseconds.
 struct Frequency {
   std::int64_t hertz = 0;
@@ -67,6 +89,8 @@ struct Frequency {
     const __int128 num = static_cast<__int128>(cycles) * 1'000'000'000'000;
     return Picoseconds{static_cast<std::int64_t>((num + hertz / 2) / hertz)};
   }
+
+  constexpr Picoseconds cycles_to_ps(Cycles c) const { return cycles_to_ps(c.count); }
 
   /// Number of whole cycles that have *started* by time `t` (floor).
   constexpr std::int64_t ps_to_cycles_floor(Picoseconds t) const {

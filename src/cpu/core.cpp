@@ -174,7 +174,7 @@ RunResult Core::run(TraceSource& trace, MemoryBackend& mem) {
 
       case Op::kRowClone: {
         ++result_.rowclones;
-        cycle_ += cfg_.rowclone_trigger_cycles;
+        cycle_ += cfg_.rowclone_trigger_cycles.count;
         const std::uint64_t id = mem.submit_rowclone(rec.addr, rec.addr2, cycle_);
         const Completion c = mem.wait(id);
         cycle_ = std::max(cycle_, c.release_cycle);

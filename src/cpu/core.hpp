@@ -31,7 +31,7 @@ struct CoreConfig {
   /// stores of the source/target addresses, the go bit, and completion
   /// polling (PiDRAM-style memory-mapped interface). Charged per kRowClone
   /// in addition to the memory system's service latency.
-  std::int64_t rowclone_trigger_cycles = 600;
+  Cycles rowclone_trigger_cycles{600};
   /// In-order pipeline: every load behaves as dependent (blocking).
   bool blocking_loads = false;
   /// Write-streaming (non-temporal full-line stores): kStoreStream skips

@@ -18,7 +18,7 @@ inline CoreConfig cortex_a57_core() {
   // MMIO trigger + completion polling at GHz-class clocks: a handful of
   // uncached register accesses, each a platform round-trip costing
   // hundreds of processor cycles.
-  c.rowclone_trigger_cycles = 2300;
+  c.rowclone_trigger_cycles = Cycles{2300};
   // A57 detects full-line store streams (memset/memcpy) and skips RFOs.
   c.write_streaming = true;
   return c;
@@ -57,7 +57,7 @@ inline CoreConfig pidram_inorder_core() {
   c.blocking_loads = true;
   // The MMIO trigger: a handful of uncached stores; at 50 MHz the FPGA
   // interconnect round-trip is a few processor cycles.
-  c.rowclone_trigger_cycles = 12;
+  c.rowclone_trigger_cycles = Cycles{12};
   // The PiDRAM-style copy/init microbenchmark paths operate on flushed /
   // uncached buffers, so full-line stores go straight to memory.
   c.write_streaming = true;

@@ -49,8 +49,8 @@ bool MemoryController::step(EasyApi& api) {
   // bank-state view (one virtual call per scanned entry, no closures).
   std::size_t scanned = 0;
   const auto pick = options_.scheduler->pick(table_, api, scanned);
-  api.charge(static_cast<std::int64_t>(scanned) *
-             api.tile().meter().costs().schedule_scan_entry);
+  api.charge(api.tile().meter().costs().schedule_scan_entry *
+             static_cast<std::int64_t>(scanned));
   EASYDRAM_ENSURES(pick.has_value());
 
   TableEntry entry = table_.remove(*pick);

@@ -21,13 +21,13 @@ void EasyApi::sync_meter() {
   keeper_->account_smc_cycles(tile_->meter().take());
 }
 
-void EasyApi::charge_service(std::int64_t core_cycles) {
+void EasyApi::charge_service(Cycles core_cycles) {
   if (setup_mode_) return;
   tile_->meter().charge(core_cycles);
   keeper_->account_mc_service_cycles(core_cycles);
 }
 
-void EasyApi::charge_background(std::int64_t core_cycles) {
+void EasyApi::charge_background(Cycles core_cycles) {
   if (setup_mode_) return;
   tile_->meter().charge(core_cycles);
 }

@@ -113,13 +113,13 @@ class EasyApi final : public BankStateView {
   /// Charges `core_cycles` of bespoke request-servicing controller logic
   /// (technique code): accrues on the programmable core AND, under time
   /// scaling, on the emulated MC timeline.
-  void charge(std::int64_t core_cycles) { charge_service(core_cycles); }
+  void charge(Cycles core_cycles) { charge_service(core_cycles); }
 
   /// Charges controller work that overlaps DRAM Bender execution (e.g. the
   /// Bloom-filter lookup for the *next* row activation performed while the
   /// previous batch replays): programmable-core time only, never request
   /// latency.
-  void charge_overlapped(std::int64_t core_cycles) {
+  void charge_overlapped(Cycles core_cycles) {
     charge_background(core_cycles);
   }
 
@@ -251,9 +251,9 @@ class EasyApi final : public BankStateView {
   void sync_meter();
 
   /// Request-servicing work: programmable-core cycles + emulated MC cycles.
-  void charge_service(std::int64_t core_cycles);
+  void charge_service(Cycles core_cycles);
   /// Background work (polling, mode flips): programmable-core cycles only.
-  void charge_background(std::int64_t core_cycles);
+  void charge_background(Cycles core_cycles);
 
   /// Catch-up/in-flight refresh convergence for one rank.
   void refresh_rank_if_due(std::uint32_t rank);

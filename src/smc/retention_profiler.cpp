@@ -1,6 +1,7 @@
 #include "smc/retention_profiler.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 
 #include "common/contracts.hpp"
@@ -21,10 +22,16 @@ void count_bin(RaidrBinStats& s, std::uint32_t m) {
 }
 
 void finish_stats(RaidrBinStats& s, const RaidrBinning& b) {
-  double acc = 0.0;
-  for (const std::uint8_t m : b.multipliers) acc += 1.0 / m;
-  s.issue_fraction =
-      b.multipliers.empty() ? 1.0 : acc / static_cast<double>(b.multipliers.size());
+  // Multipliers are powers of two <= 128, so each 1/m is an exact multiple
+  // of 1/128. Summing the scaled integer numerators keeps the accumulation
+  // exact (and iteration-order independent); the single final division
+  // rounds once, exactly as the naive double sum would.
+  std::int64_t acc_128ths = 0;
+  for (const std::uint8_t m : b.multipliers) acc_128ths += 128 / m;
+  s.issue_fraction = b.multipliers.empty()
+                         ? 1.0
+                         : static_cast<double>(acc_128ths) /
+                               (128.0 * static_cast<double>(b.multipliers.size()));
 }
 
 }  // namespace

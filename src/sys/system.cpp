@@ -60,7 +60,7 @@ EasyDramSystem::ChannelSlice::ChannelSlice(const SystemConfig& cfg,
     : device(cfg.geometry, cfg.timing, channel_variation(cfg, channel)),
       tile(cfg.tile),
       keeper(cfg.mode, cfg.proc_domain, cfg.tile.core_clock,
-             cfg.mc_sched_latency_cycles, cfg.hardware_mc),
+             cfg.mc_sched_latency, cfg.hardware_mc),
       api(tile, device, mapper, keeper, channel) {}
 
 EasyDramSystem::EasyDramSystem(const SystemConfig& cfg)
@@ -165,6 +165,9 @@ smc::RaidrBinStats EasyDramSystem::refresh_bin_stats() const {
     total.stripes_x2 += s.stripes_x2;
     total.stripes_x4 += s.stripes_x4;
     total.rows_profiled += s.rows_profiled;
+    // Per-channel vector order is fixed at construction, so this sum is
+    // reproducible at any thread count.
+    // NOLINT-easydram-next-line(float-accumulation-order)
     issue_acc += s.issue_fraction * static_cast<double>(s.stripes_total);
   }
   if (total.stripes_total > 0) {
@@ -275,7 +278,7 @@ void EasyDramSystem::account_cpu_progress(std::int64_t now) {
     } else {
       // Under time scaling every emulated cycle — including the replayed
       // stall windows of Fig. 5(e) — executes on the processor's FPGA clock.
-      ch->keeper.account_proc_cycles(now - last_cpu_cycle_);
+      ch->keeper.account_proc_cycles(Cycles{now - last_cpu_cycle_});
     }
   }
   last_cpu_cycle_ = now;
@@ -306,7 +309,7 @@ bool EasyDramSystem::pump_once() {
     tile::EasyTile& tile = ch->tile;
     if (ch->controller->idle() && tile.incoming().empty() &&
         tile.outgoing().empty() && !ch->keeper.counters().critical() &&
-        tile.meter().pending() == 0) {
+        tile.meter().pending().count == 0) {
       if (!ch->api.setup_mode()) {
         tile.meter().charge(tile.meter().costs().poll_iteration);
         ch->keeper.account_smc_cycles(tile.meter().take());

@@ -39,10 +39,10 @@ struct SystemConfig {
   /// scheduling time. The paper's modeled controller *is* the SMC program
   /// re-clocked at the system frequency, so the default is 0; raise it to
   /// model an MC with extra pipeline stages.
-  std::int64_t mc_sched_latency_cycles = 0;
+  Cycles mc_sched_latency{};
 
   /// Model a fixed-function RTL memory controller instead: requests cost
-  /// only `mc_sched_latency_cycles`, never the SMC program's cycle count
+  /// only `mc_sched_latency`, never the SMC program's cycle count
   /// (the Fig. 2 "FPGA + RTL memory controller" configuration).
   bool hardware_mc = false;
 

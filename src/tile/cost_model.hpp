@@ -21,19 +21,19 @@ namespace easydram::tile {
 /// the Tile Control Logic offloads FIFO transfers and Bender hand-off, so
 /// the software path is tens of instructions, not hundreds.
 struct CoreCostModel {
-  std::int64_t poll_iteration = 4;        ///< One empty main-loop iteration.
-  std::int64_t receive_request = 4;       ///< FIFO -> scratchpad (TCL-assisted).
-  std::int64_t address_map = 3;           ///< Physical -> DRAM translation.
-  std::int64_t schedule_fcfs = 8;         ///< FCFS pick.
-  std::int64_t schedule_scan_entry = 2;   ///< FR-FCFS per-scanned-entry cost.
-  std::int64_t command_push = 2;          ///< Append one Bender instruction.
-  std::int64_t batch_kickoff = 10;        ///< Trigger DRAM Bender + sync.
-  std::int64_t batch_wait_poll = 2;       ///< Poll Bender busy flag once.
-  std::int64_t readback_line = 4;         ///< Readback buffer -> scratchpad.
-  std::int64_t enqueue_response = 4;      ///< Scratchpad -> FIFO (TCL-assisted).
-  std::int64_t timescale_update = 4;      ///< Advance a time-scaling counter.
-  std::int64_t bloom_check = 12;          ///< Bloom filter lookup on row open.
-  std::int64_t table_insert = 2;          ///< Request-table bookkeeping.
+  Cycles poll_iteration{4};        ///< One empty main-loop iteration.
+  Cycles receive_request{4};       ///< FIFO -> scratchpad (TCL-assisted).
+  Cycles address_map{3};           ///< Physical -> DRAM translation.
+  Cycles schedule_fcfs{8};         ///< FCFS pick.
+  Cycles schedule_scan_entry{2};   ///< FR-FCFS per-scanned-entry cost.
+  Cycles command_push{2};          ///< Append one Bender instruction.
+  Cycles batch_kickoff{10};        ///< Trigger DRAM Bender + sync.
+  Cycles batch_wait_poll{2};       ///< Poll Bender busy flag once.
+  Cycles readback_line{4};         ///< Readback buffer -> scratchpad.
+  Cycles enqueue_response{4};      ///< Scratchpad -> FIFO (TCL-assisted).
+  Cycles timescale_update{4};      ///< Advance a time-scaling counter.
+  Cycles bloom_check{12};          ///< Bloom filter lookup on row open.
+  Cycles table_insert{2};          ///< Request-table bookkeeping.
 };
 
 /// Accumulates programmable-core cycles charged by EasyAPI calls and
@@ -48,34 +48,34 @@ class CycleMeter {
   const CoreCostModel& costs() const { return costs_; }
   Frequency core_clock() const { return core_clock_; }
 
-  void charge(std::int64_t cycles) {
-    EASYDRAM_EXPECTS(cycles >= 0);
+  void charge(Cycles cycles) {
+    EASYDRAM_EXPECTS(cycles.count >= 0);
     total_cycles_ += cycles;
   }
 
-  /// Core cycles charged since construction or the last `take()`.
-  std::int64_t total_cycles() const { return total_cycles_; }
+  /// Core cycles charged since construction.
+  Cycles total_cycles() const { return total_cycles_; }
 
   /// Cycles charged but not yet taken by the system engine.
-  std::int64_t pending() const { return total_cycles_ - taken_; }
+  Cycles pending() const { return total_cycles_ - taken_; }
 
   /// Returns the cycles accumulated since the previous take() and resets
   /// the running delta. The system engine calls this to advance wall time.
-  std::int64_t take() {
-    const std::int64_t delta = total_cycles_ - taken_;
+  Cycles take() {
+    const Cycles delta = total_cycles_ - taken_;
     taken_ = total_cycles_;
     return delta;
   }
 
-  Picoseconds to_wall(std::int64_t cycles) const {
+  Picoseconds to_wall(Cycles cycles) const {
     return core_clock_.cycles_to_ps(cycles);
   }
 
  private:
   CoreCostModel costs_;
   Frequency core_clock_;
-  std::int64_t total_cycles_ = 0;
-  std::int64_t taken_ = 0;
+  Cycles total_cycles_{0};
+  Cycles taken_{0};
 };
 
 }  // namespace easydram::tile

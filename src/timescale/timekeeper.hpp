@@ -33,25 +33,25 @@ enum class SystemMode : std::uint8_t {
 class TimeKeeper {
  public:
   /// `hardware_mc` models a fixed-function RTL memory controller: request
-  /// servicing costs only the configured `mc_sched_latency_cycles` pipeline
+  /// servicing costs only the configured `mc_sched_latency` pipeline
   /// latency, never the software controller's cycle count (used by the
   /// Fig. 2 "FPGA + RTL memory controller" configuration).
   TimeKeeper(SystemMode mode, DomainConfig proc_domain, Frequency smc_core_clock,
-             std::int64_t mc_sched_latency_cycles, bool hardware_mc = false)
+             Cycles mc_sched_latency, bool hardware_mc = false)
       : mode_(mode),
         proc_scaler_(proc_domain),
         smc_core_clock_(smc_core_clock),
-        mc_sched_latency_cycles_(mc_sched_latency_cycles),
+        mc_sched_latency_(mc_sched_latency),
         hardware_mc_(hardware_mc) {
     EASYDRAM_EXPECTS(smc_core_clock.hertz > 0);
-    EASYDRAM_EXPECTS(mc_sched_latency_cycles >= 0);
+    EASYDRAM_EXPECTS(mc_sched_latency.count >= 0);
   }
 
   SystemMode mode() const { return mode_; }
   const Scaler& proc_scaler() const { return proc_scaler_; }
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
-  std::int64_t mc_sched_latency_cycles() const { return mc_sched_latency_cycles_; }
+  Cycles mc_sched_latency() const { return mc_sched_latency_; }
 
   // --- FPGA wall clock -----------------------------------------------------
 
@@ -76,8 +76,8 @@ class TimeKeeper {
   /// Charges `core_cycles` of software-memory-controller execution against
   /// the wall clock only (background work: polling, critical-mode entry and
   /// exit — it overlaps processor execution in the modeled system).
-  void account_smc_cycles(std::int64_t core_cycles) {
-    EASYDRAM_EXPECTS(core_cycles >= 0);
+  void account_smc_cycles(Cycles core_cycles) {
+    EASYDRAM_EXPECTS(core_cycles.count >= 0);
     advance_wall(smc_core_clock_.cycles_to_ps(core_cycles));
   }
 
@@ -88,16 +88,16 @@ class TimeKeeper {
   /// number of emulation cycles at the emulated system's clock frequency").
   /// This is exactly what makes the §6 reference system — the same
   /// controller in RTL at the target clock — report matching times.
-  void account_mc_service_cycles(std::int64_t core_cycles) {
-    EASYDRAM_EXPECTS(core_cycles >= 0);
+  void account_mc_service_cycles(Cycles core_cycles) {
+    EASYDRAM_EXPECTS(core_cycles.count >= 0);
     if (hardware_mc_) return;  // RTL controllers pipeline at clock speed.
-    if (mode_ != SystemMode::kNoTimeScaling) counters_.advance_mc(core_cycles);
+    if (mode_ != SystemMode::kNoTimeScaling) counters_.advance_mc(core_cycles.count);
   }
 
   /// Charges processor execution of `proc_cycles` emulated cycles: the
   /// processor logic runs one emulated cycle per FPGA cycle of its domain.
-  void account_proc_cycles(std::int64_t proc_cycles) {
-    EASYDRAM_EXPECTS(proc_cycles >= 0);
+  void account_proc_cycles(Cycles proc_cycles) {
+    EASYDRAM_EXPECTS(proc_cycles.count >= 0);
     advance_wall(proc_scaler_.config().fpga_clock.cycles_to_ps(proc_cycles));
   }
 
@@ -106,15 +106,15 @@ class TimeKeeper {
   /// The processor-cycle equivalent of the current wall time (the
   /// no-time-scaling notion of "now": a 50 MHz FPGA processor simply counts
   /// its own cycles).
-  std::int64_t wall_as_proc_cycles() const {
-    return proc_scaler_.config().fpga_clock.ps_to_cycles_floor(wall_);
+  Cycles wall_as_proc_cycles() const {
+    return Cycles{proc_scaler_.config().fpga_clock.ps_to_cycles_floor(wall_)};
   }
 
   /// One hardware-MC-equivalent scheduling decision: time scaling charges
   /// the configured scheduling latency to the emulated MC domain.
   void account_schedule_decision() {
     if (mode_ != SystemMode::kNoTimeScaling) {
-      counters_.advance_mc(mc_sched_latency_cycles_);
+      counters_.advance_mc(mc_sched_latency_.count);
     }
   }
 
@@ -126,14 +126,14 @@ class TimeKeeper {
     EASYDRAM_EXPECTS(elapsed.count >= 0);
     advance_wall(elapsed);
     if (mode_ != SystemMode::kNoTimeScaling) {
-      counters_.advance_mc(proc_scaler_.real_to_emulated_cycles(elapsed));
+      counters_.advance_mc(proc_scaler_.real_to_emulated_cycles(elapsed).count);
     }
   }
 
   /// Release tag for a response finalized now (Fig. 5 step 10): the
   /// processor may not consume the response before this cycle.
   std::int64_t response_release_tag() const {
-    if (mode_ == SystemMode::kNoTimeScaling) return wall_as_proc_cycles();
+    if (mode_ == SystemMode::kNoTimeScaling) return wall_as_proc_cycles().count;
     return counters_.mc();
   }
 
@@ -178,7 +178,7 @@ class TimeKeeper {
   SystemMode mode_;
   Scaler proc_scaler_;
   Frequency smc_core_clock_;
-  std::int64_t mc_sched_latency_cycles_;
+  Cycles mc_sched_latency_;
   bool hardware_mc_;
   Counters counters_;
   Picoseconds wall_{};

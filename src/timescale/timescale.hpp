@@ -98,8 +98,8 @@ class Scaler {
   /// Emulated cycles that elapse in the domain during real duration `t`
   /// (e.g. DRAM Bender reports 75 ns; at 1 GHz emulated clock this is 75
   /// emulated cycles). Rounds up: a partial cycle still stalls a full one.
-  std::int64_t real_to_emulated_cycles(Picoseconds t) const {
-    return cfg_.emulated_clock.ps_to_cycles_ceil(t);
+  Cycles real_to_emulated_cycles(Picoseconds t) const {
+    return Cycles{cfg_.emulated_clock.ps_to_cycles_ceil(t)};
   }
 
   /// Emulated-timeline duration of `cycles` domain cycles.

@@ -1,0 +1,28 @@
+// easydram-lint fixture: banned-entropy.
+// Expected findings in this file: 3 (std::rand, time(), system_clock).
+// The suppressed call and the seeded LCG must stay clean.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+inline int positive_rand() { return std::rand(); }
+
+inline long positive_time() { return static_cast<long>(time(nullptr)); }
+
+inline long long positive_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+inline int quieted_rand() {
+  return std::rand();  // NOLINT-easydram(banned-entropy): fixture exercises
+                       // the same-line suppression path.
+}
+
+inline unsigned clean_seeded(unsigned state) {
+  return state * 1664525u + 1013904223u;
+}
+
+}  // namespace fixture

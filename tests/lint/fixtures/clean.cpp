@@ -1,0 +1,22 @@
+// easydram-lint fixture: a file every check must pass untouched.
+// Expected findings in this file: 0.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+inline std::int64_t ordered_iteration(const std::map<int, std::int64_t>& m) {
+  std::int64_t grand_total = 0;
+  for (const auto& [key, value] : m) grand_total += value;
+  return grand_total;
+}
+
+inline std::int64_t integer_reduction(const std::vector<std::int64_t>& xs) {
+  std::int64_t running = 0;
+  for (const std::int64_t x : xs) running += x;
+  return running;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// easydram-lint fixture: float-accumulation-order.
+// Expected findings in this file: 2 (a double += and a static_cast<double>
+// accumulation). The suppressed and integer reductions must stay clean.
+
+#include <vector>
+
+namespace fixture {
+
+inline double positive_sum(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc;
+}
+
+inline double positive_cast(const std::vector<int>& xs) {
+  double total = 0.0;
+  for (const int x : xs) total += static_cast<double>(x);
+  return total;
+}
+
+inline double quieted_sum(const std::vector<double>& xs) {
+  double quiet_acc = 0.0;
+  // Fixture exercises the suppression path: pretend the traversal order is
+  // structurally fixed.
+  // NOLINT-easydram-next-line(float-accumulation-order)
+  for (const double x : xs) quiet_acc += x;
+  return quiet_acc;
+}
+
+inline long clean_integer(const std::vector<int>& xs) {
+  long count_sum = 0;
+  for (const int x : xs) count_sum += x;
+  return count_sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// easydram-lint fixture: nondeterministic-iteration.
+// Expected findings in this file: 2 (one range-for, one explicit begin()).
+// The suppressed and lookup-only functions must stay clean.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+inline int positive_range_for() {
+  std::unordered_map<int, int> histogram;
+  int total = 0;
+  for (const auto& [key, value] : histogram) total += value;
+  return total;
+}
+
+inline bool positive_iterator() {
+  std::unordered_set<std::string> names;
+  return names.begin() != names.end();
+}
+
+inline int suppressed_range_for() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  // Fixture exercises the suppression path: pretend a sorted copy is
+  // iterated here.
+  // NOLINT-easydram-next-line(nondeterministic-iteration)
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}
+
+inline bool clean_lookup_only(const std::unordered_map<int, int>& table) {
+  return table.find(3) != table.end() && table.count(4) > 0;
+}
+
+}  // namespace fixture

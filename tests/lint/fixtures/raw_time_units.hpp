@@ -1,0 +1,31 @@
+// easydram-lint fixture: raw-time-units.
+// Expected findings in this file: 5 — one field, one raw return, two raw
+// parameters, and one line of mixed *_ps / *_cycles arithmetic.
+// The suppressed declaration and the unsuffixed counter must stay clean.
+
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct BadTimings {
+  std::int64_t window_ps = 0;
+};
+
+std::int64_t elapsed_ps();
+
+inline std::int64_t add_latency(std::int64_t base_ps, std::int64_t extra_cycles) {
+  return base_ps + extra_cycles;
+}
+
+// Fixture exercises the suppression path: pretend this is a legacy FFI
+// boundary that cannot take the wrapper types.
+// NOLINT-easydram-next-line(raw-time-units)
+std::int64_t legacy_window_ps();
+
+struct CleanCounters {
+  std::int64_t plain_counter = 0;  // No time suffix: not a time quantity.
+};
+
+}  // namespace fixture

@@ -89,7 +89,7 @@ TEST(BatchDrainTest, RowBatchLimitRespected) {
   timescale::TimeKeeper keeper(
       timescale::SystemMode::kTimeScaling,
       timescale::DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)},
-      Frequency::megahertz(100), 0);
+      Frequency::megahertz(100), Cycles{0});
   smc::EasyApi api(tile, device, mapper, keeper);
 
   for (std::uint64_t i = 0; i < 6; ++i) {
@@ -201,8 +201,8 @@ TEST(HardwareMcTest, ServiceCyclesNotChargedToMc) {
   timescale::TimeKeeper k(
       timescale::SystemMode::kTimeScaling,
       timescale::DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)},
-      Frequency::megahertz(100), 5, /*hardware_mc=*/true);
-  k.account_mc_service_cycles(1000);
+      Frequency::megahertz(100), Cycles{5}, /*hardware_mc=*/true);
+  k.account_mc_service_cycles(Cycles{1000});
   EXPECT_EQ(k.counters().mc(), 0);
   k.account_schedule_decision();
   EXPECT_EQ(k.counters().mc(), 5);  // Only the fixed pipeline latency.
@@ -212,7 +212,7 @@ TEST(HardwareMcTest, SystemLatencyDropsWithHardwareMc) {
   sys::SystemConfig soft = ts_config();
   sys::SystemConfig hard = ts_config();
   hard.hardware_mc = true;
-  hard.mc_sched_latency_cycles = 4;
+  hard.mc_sched_latency = Cycles{4};
 
   sys::EasyDramSystem s1(soft), s2(hard);
   const auto c1 = s1.wait(s1.submit_read(0, 100));
@@ -228,12 +228,12 @@ TEST(AttributionTest, OverlappedChargeDoesNotDelayRequests) {
   timescale::TimeKeeper keeper(
       timescale::SystemMode::kTimeScaling,
       timescale::DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)},
-      Frequency::megahertz(100), 0);
+      Frequency::megahertz(100), Cycles{0});
   smc::EasyApi api(tile, device, mapper, keeper);
 
-  api.charge_overlapped(1000);
+  api.charge_overlapped(Cycles{1000});
   EXPECT_EQ(keeper.counters().mc(), 0);
-  api.charge(1000);  // Service charge.
+  api.charge(Cycles{1000});  // Service charge.
   EXPECT_EQ(keeper.counters().mc(), 1000);
 }
 
@@ -245,7 +245,7 @@ TEST(AttributionTest, ReceiveSnapsMcToRequestTag) {
   timescale::TimeKeeper keeper(
       timescale::SystemMode::kTimeScaling,
       timescale::DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)},
-      Frequency::megahertz(100), 0);
+      Frequency::megahertz(100), Cycles{0});
   smc::EasyApi api(tile, device, mapper, keeper);
 
   tile::Request r;
@@ -263,9 +263,9 @@ TEST(AttributionTest, ReceiveSnapsMcToRequestTag) {
 
 TEST(RowCloneTriggerTest, TriggerCyclesChargedToCore) {
   sys::SystemConfig with = ts_config();
-  with.core.rowclone_trigger_cycles = 5000;
+  with.core.rowclone_trigger_cycles = Cycles{5000};
   sys::SystemConfig without = ts_config();
-  without.core.rowclone_trigger_cycles = 0;
+  without.core.rowclone_trigger_cycles = Cycles{0};
 
   auto run_one = [](const sys::SystemConfig& cfg) {
     sys::EasyDramSystem sysm(cfg);

@@ -285,7 +285,7 @@ struct ControllerHarness {
         keeper(timescale::SystemMode::kTimeScaling,
                timescale::DomainConfig{Frequency::megahertz(100),
                                        Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24),
+               Frequency::megahertz(100), Cycles{24}),
         api(tile, device, mapper, keeper) {
     device.set_hammer_tracking(true);
     mitigator = smc::mitigation::make_mitigator(mit, geo, 0);

@@ -339,7 +339,7 @@ struct Harness {
         keeper(timescale::SystemMode::kTimeScaling,
                timescale::DomainConfig{Frequency::megahertz(100),
                                        Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24),
+               Frequency::megahertz(100), Cycles{24}),
         api(tile, device, mapper, keeper, 0) {}
 
   void advance_emulated_past_slots(std::int64_t slots) {

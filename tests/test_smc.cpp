@@ -34,7 +34,7 @@ struct Harness {
         keeper(mode,
                timescale::DomainConfig{Frequency::megahertz(100),
                                        Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24),
+               Frequency::megahertz(100), Cycles{24}),
         api(tile, device, mapper, keeper) {}
 
   void push_request(tile::Request r) {
@@ -398,7 +398,7 @@ TEST(EasyApiTest, SetupModeLeavesTimelinesAlone) {
 
 TEST(EasyApiTest, MeterChargesEveryCall) {
   Harness h;
-  const std::int64_t before = h.tile.meter().total_cycles();
+  const Cycles before = h.tile.meter().total_cycles();
   h.api.get_addr_mapping(0);
   h.api.read_sequence(dram::DramAddress{0, 1, 0});
   h.api.flush_commands();

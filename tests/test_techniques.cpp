@@ -18,7 +18,7 @@ struct Harness {
         keeper(timescale::SystemMode::kTimeScaling,
                timescale::DomainConfig{Frequency::megahertz(100),
                                        Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24),
+               Frequency::megahertz(100), Cycles{24}),
         api(tile, device, mapper, keeper) {}
 
   dram::Geometry geo;

@@ -38,29 +38,29 @@ TEST(BoundedFifoTest, FrontPeeks) {
 
 TEST(CycleMeterTest, ChargesAccumulate) {
   CycleMeter m(CoreCostModel{}, Frequency::megahertz(100));
-  m.charge(10);
-  m.charge(5);
-  EXPECT_EQ(m.total_cycles(), 15);
+  m.charge(Cycles{10});
+  m.charge(Cycles{5});
+  EXPECT_EQ(m.total_cycles(), Cycles{15});
 }
 
 TEST(CycleMeterTest, TakeReturnsDelta) {
   CycleMeter m(CoreCostModel{}, Frequency::megahertz(100));
-  m.charge(10);
-  EXPECT_EQ(m.take(), 10);
-  EXPECT_EQ(m.take(), 0);
-  m.charge(7);
-  EXPECT_EQ(m.take(), 7);
-  EXPECT_EQ(m.total_cycles(), 17);
+  m.charge(Cycles{10});
+  EXPECT_EQ(m.take(), Cycles{10});
+  EXPECT_EQ(m.take(), Cycles{0});
+  m.charge(Cycles{7});
+  EXPECT_EQ(m.take(), Cycles{7});
+  EXPECT_EQ(m.total_cycles(), Cycles{17});
 }
 
 TEST(CycleMeterTest, WallConversion) {
   CycleMeter m(CoreCostModel{}, Frequency::megahertz(100));
-  EXPECT_EQ(m.to_wall(100).count, 1'000'000);  // 100 cycles at 10 ns.
+  EXPECT_EQ(m.to_wall(Cycles{100}).count, 1'000'000);  // 100 cycles at 10 ns.
 }
 
 TEST(CycleMeterTest, NegativeChargeRejected) {
   CycleMeter m(CoreCostModel{}, Frequency::megahertz(100));
-  EXPECT_THROW(m.charge(-1), ContractViolation);
+  EXPECT_THROW(m.charge(Cycles{-1}), ContractViolation);
 }
 
 TEST(EasyTileTest, ScratchpadBudget) {

@@ -59,8 +59,8 @@ TEST(ScalerTest, RealToEmulatedCycles) {
   // 100 MHz FPGA processor emulating 1 GHz: 75 ns of DRAM time is 75
   // emulated cycles.
   Scaler s(DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)});
-  EXPECT_EQ(s.real_to_emulated_cycles(75_ns), 75);
-  EXPECT_EQ(s.real_to_emulated_cycles(Picoseconds{1}), 1);  // Ceil.
+  EXPECT_EQ(s.real_to_emulated_cycles(75_ns), Cycles{75});
+  EXPECT_EQ(s.real_to_emulated_cycles(Picoseconds{1}), Cycles{1});  // Ceil.
   EXPECT_EQ(s.emulated_cycles_to_time(2000), 2_us);
   EXPECT_EQ(s.fpga_time_for_cycles(100), 1_us);
 }
@@ -70,10 +70,10 @@ class KeeperModes : public ::testing::TestWithParam<SystemMode> {};
 TEST_P(KeeperModes, WallAdvancesInEveryMode) {
   TimeKeeper k(GetParam(),
                DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24);
-  k.account_smc_cycles(100);
+               Frequency::megahertz(100), Cycles{24});
+  k.account_smc_cycles(Cycles{100});
   EXPECT_EQ(k.wall(), 1_us);
-  k.account_proc_cycles(100);
+  k.account_proc_cycles(Cycles{100});
   EXPECT_EQ(k.wall(), 2_us);
   k.account_batch(60_ns);
   EXPECT_EQ(k.wall(), 2_us + 60_ns);
@@ -87,7 +87,7 @@ INSTANTIATE_TEST_SUITE_P(AllModes, KeeperModes,
 TEST(TimeKeeperTest, TimeScalingChargesBatchToMc) {
   TimeKeeper k(SystemMode::kTimeScaling,
                DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24);
+               Frequency::megahertz(100), Cycles{24});
   k.account_schedule_decision();
   EXPECT_EQ(k.counters().mc(), 24);
   k.account_batch(60_ns);  // 60 emulated cycles at 1 GHz.
@@ -98,16 +98,16 @@ TEST(TimeKeeperTest, TimeScalingChargesBatchToMc) {
 TEST(TimeKeeperTest, TimeScalingHidesSmcCycles) {
   TimeKeeper k(SystemMode::kTimeScaling,
                DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24);
-  k.account_smc_cycles(100'000);  // 1 ms of SMC time...
+               Frequency::megahertz(100), Cycles{24});
+  k.account_smc_cycles(Cycles{100'000});  // 1 ms of SMC time...
   EXPECT_EQ(k.counters().mc(), 0);  // ...invisible to the emulated system.
 }
 
 TEST(TimeKeeperTest, NoTimeScalingReleaseTagTracksWall) {
   TimeKeeper k(SystemMode::kNoTimeScaling,
                DomainConfig{Frequency::megahertz(50), Frequency::megahertz(50)},
-               Frequency::megahertz(100), 24);
-  k.account_smc_cycles(100);      // 1 us wall.
+               Frequency::megahertz(100), Cycles{24});
+  k.account_smc_cycles(Cycles{100});      // 1 us wall.
   k.account_batch(60_ns);
   // Release tag: wall (1.06 us) at 50 MHz processor cycles = 53 cycles.
   EXPECT_EQ(k.response_release_tag(), 53);
@@ -119,7 +119,7 @@ TEST(TimeKeeperTest, NoTimeScalingReleaseTagTracksWall) {
 TEST(TimeKeeperTest, VisibilityRules) {
   TimeKeeper k(SystemMode::kTimeScaling,
                DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24);
+               Frequency::megahertz(100), Cycles{24});
   // Not critical: everything visible.
   EXPECT_TRUE(k.request_visible(1'000'000, 0_ns));
   k.counters().enter_critical();
@@ -135,7 +135,7 @@ TEST(TimeKeeperTest, ReferenceUsesSameVisibilityRuleAsTimeScaling) {
   // decisions (the premise of the §6 validation).
   TimeKeeper k(SystemMode::kReference,
                DomainConfig{Frequency::gigahertz(1), Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24);
+               Frequency::megahertz(100), Cycles{24});
   k.counters().enter_critical();
   EXPECT_FALSE(k.request_visible(999'999'999, 0_ns));
   k.counters().advance_mc(999'999'999);
@@ -145,7 +145,7 @@ TEST(TimeKeeperTest, ReferenceUsesSameVisibilityRuleAsTimeScaling) {
 TEST(TimeKeeperTest, SkipIdleAdvancesEmulationPoint) {
   TimeKeeper k(SystemMode::kTimeScaling,
                DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24);
+               Frequency::megahertz(100), Cycles{24});
   k.skip_idle_until_proc_cycle(5000);
   EXPECT_EQ(k.counters().mc(), 5000);
   // Never moves backwards.
@@ -156,7 +156,7 @@ TEST(TimeKeeperTest, SkipIdleAdvancesEmulationPoint) {
 TEST(TimeKeeperTest, SkipIdleNoTsAdvancesWall) {
   TimeKeeper k(SystemMode::kNoTimeScaling,
                DomainConfig{Frequency::megahertz(50), Frequency::megahertz(50)},
-               Frequency::megahertz(100), 24);
+               Frequency::megahertz(100), Cycles{24});
   k.skip_idle_until_proc_cycle(50);  // 50 cycles at 50 MHz = 1 us.
   EXPECT_EQ(k.wall(), 1_us);
 }
@@ -164,7 +164,7 @@ TEST(TimeKeeperTest, SkipIdleNoTsAdvancesWall) {
 TEST(TimeKeeperTest, EmulatedNowFollowsCounters) {
   TimeKeeper k(SystemMode::kTimeScaling,
                DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24);
+               Frequency::megahertz(100), Cycles{24});
   k.counters().advance_mc(2000);
   EXPECT_EQ(k.emulated_now(), 2_us);  // 2000 cycles at 1 GHz.
 }
@@ -172,7 +172,7 @@ TEST(TimeKeeperTest, EmulatedNowFollowsCounters) {
 TEST(TimeKeeperTest, GlobalCounterMirrorsWall) {
   TimeKeeper k(SystemMode::kTimeScaling,
                DomainConfig{Frequency::megahertz(100), Frequency::gigahertz(1)},
-               Frequency::megahertz(100), 24);
+               Frequency::megahertz(100), Cycles{24});
   k.advance_wall(1_us);
   EXPECT_EQ(k.counters().global(), 100);  // 1 us at 100 MHz FPGA clock.
 }

@@ -7,6 +7,9 @@ Checks, over README.md and every markdown file under docs/:
    file or directory in the repository (anchors are stripped).
 2. docs/scenarios.md names every scenario the CLI reports via --list, so
    a new scenario cannot land undocumented.
+3. docs/linting.md documents every check easydram-lint registers
+   (tools/lint/easydram_lint.py --list-checks), so a new check cannot
+   land undocumented either.
 
 Usage:
     tools/check_docs.py [--cli PATH/TO/easydram_cli] [--repo PATH]
@@ -76,6 +79,27 @@ def check_scenario_coverage(repo: pathlib.Path, cli: str | None) -> list:
             if not re.search(rf"\b{re.escape(n)}\b", reference)]
 
 
+def lint_check_names(repo: pathlib.Path) -> set:
+    out = subprocess.run(
+        [sys.executable, str(repo / "tools" / "lint" / "easydram_lint.py"),
+         "--list-checks"],
+        check=True, capture_output=True, text=True).stdout
+    return {line.split(":", 1)[0].strip()
+            for line in out.splitlines() if ":" in line}
+
+
+def check_lint_coverage(repo: pathlib.Path) -> list:
+    names = lint_check_names(repo)
+    if not names:
+        return ["no lint checks reported by easydram-lint --list-checks"]
+    reference = (repo / "docs" / "linting.md").read_text()
+    # Checks must appear as their own catalog heading, not merely in
+    # passing prose: "#### `check-name`".
+    return [f"docs/linting.md: lint check '{n}' has no catalog section"
+            for n in sorted(names)
+            if f"#### `{n}`" not in reference]
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--cli", help="easydram_cli binary for --list coverage")
@@ -84,14 +108,17 @@ def main() -> int:
     args = ap.parse_args()
     repo = pathlib.Path(args.repo).resolve()
 
-    errors = check_links(repo) + check_scenario_coverage(repo, args.cli)
+    errors = (check_links(repo) + check_scenario_coverage(repo, args.cli)
+              + check_lint_coverage(repo))
     for e in errors:
         print(f"check_docs: {e}", file=sys.stderr)
     if not errors:
         n_docs = len(doc_files(repo))
         n_scen = len(scenario_names(repo, args.cli))
+        n_checks = len(lint_check_names(repo))
         print(f"check_docs OK: {n_docs} docs, links clean, "
-              f"{n_scen} scenarios documented")
+              f"{n_scen} scenarios documented, "
+              f"{n_checks} lint checks documented")
     return 1 if errors else 0
 
 

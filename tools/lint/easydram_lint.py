@@ -1,0 +1,688 @@
+#!/usr/bin/env python3
+"""easydram-lint: determinism-contract static analysis for the EasyDRAM repo.
+
+The repository's core contract is bit-identical scenario JSON at any
+`--threads`, pinned dynamically by the golden-hash suite. This linter
+enforces the *static* half of that contract: it flags source constructs
+whose behaviour can differ run-to-run or thread-count-to-thread-count,
+before they ever reach a golden hash. See docs/linting.md for the check
+catalog and the invariant each check guards.
+
+Engines
+-------
+Two analysis engines are available:
+
+* ``tokens`` (always available): a comment/string-aware token scanner.
+  This is the engine of record — CI pins it so finding counts are
+  reproducible on any machine, with or without clang installed.
+* ``clang`` (optional): uses clang's python bindings (libclang) for
+  AST-accurate variants of the type-sensitive checks, falling back to the
+  token engine per-file on any parse failure. Selected only when
+  ``clang.cindex`` imports and a libclang shared object resolves.
+
+``--engine auto`` (the default) prefers ``clang`` when usable, otherwise
+``tokens``.
+
+Suppressions
+------------
+A finding on line N is suppressed by a comment on the same line::
+
+    foo();  // NOLINT-easydram(banned-entropy): justification here
+
+or on the immediately preceding line::
+
+    // NOLINT-easydram-next-line(raw-time-units): justification here
+    std::int64_t window_ps();
+
+``NOLINT-easydram`` with no check list suppresses every check on that
+line. Justifications after ``:`` are a convention, not parsed.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Findings and suppression
+
+
+@dataclasses.dataclass
+class Finding:
+    file: str  # Repo-relative, forward slashes.
+    line: int  # 1-based.
+    check: str
+    message: str
+
+    def key(self):
+        return (self.file, self.line, self.check, self.message)
+
+
+NOLINT_RE = re.compile(r"//\s*NOLINT-easydram(?:\(([^)]*)\))?")
+NOLINT_NEXT_RE = re.compile(r"//\s*NOLINT-easydram-next-line(?:\(([^)]*)\))?")
+
+
+def suppressed_checks(raw_lines, lineno):
+    """Checks suppressed at 1-based `lineno`; returns None for 'all'."""
+    out = set()
+    line = raw_lines[lineno - 1]
+    prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+    for regex, text in ((NOLINT_NEXT_RE, prev), (NOLINT_RE, line)):
+        m = regex.search(text)
+        # NOLINT-easydram-next-line also matches NOLINT_RE's prefix; the
+        # same-line pattern must not fire on a next-line marker.
+        if regex is NOLINT_RE and NOLINT_NEXT_RE.search(text):
+            m = None
+        if not m:
+            continue
+        if m.group(1) is None or not m.group(1).strip():
+            return None  # Bare NOLINT: everything suppressed.
+        out.update(c.strip() for c in m.group(1).split(","))
+    return out
+
+
+def is_suppressed(raw_lines, lineno, check):
+    sup = suppressed_checks(raw_lines, lineno)
+    return sup is None or check in sup
+
+
+# ---------------------------------------------------------------------------
+# Comment/string stripping (shared by every token check)
+
+
+def strip_comments_and_strings(text):
+    """Returns `text` with comments and string/char literals blanked.
+
+    Replaced regions become spaces so line numbers and column offsets are
+    preserved. Handles // and /* */ comments, "..." and '...' literals
+    with escapes. Raw string literals are blanked conservatively from
+    R"( to the next )" (custom delimiters are not used in this repo).
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    NORMAL, LINE, BLOCK, STR, CHR, RAW = range(6)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "R" and text[i + 1 : i + 3] == '"(':
+                state = RAW
+                out[i] = out[i + 1] = out[i + 2] = " "
+                i += 3
+                continue
+            if c == '"':
+                state = STR
+                i += 1
+                continue
+            if c == "'":
+                state = CHR
+                i += 1
+                continue
+            i += 1
+            continue
+        if state == LINE:
+            if c == "\n":
+                state = NORMAL
+            else:
+                out[i] = " "
+            i += 1
+            continue
+        if state == BLOCK:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == RAW:
+            if c == ")" and nxt == '"':
+                state = NORMAL
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        # STR / CHR
+        if c == "\\":
+            out[i] = " "
+            if i + 1 < n and text[i + 1] != "\n":
+                out[i + 1] = " "
+            i += 2
+            continue
+        if (state == STR and c == '"') or (state == CHR and c == "'"):
+            state = NORMAL
+            i += 1
+            continue
+        if c != "\n":
+            out[i] = " "
+        i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Shared grammar fragments
+
+RAW_INT_TYPE = (
+    r"(?:(?:unsigned\s+|signed\s+)?(?:long\s+long|long|int|short|char)"
+    r"|(?:std::)?u?int(?:8|16|32|64)_t"
+    r"|(?:std::)?size_t|(?:std::)?ptrdiff_t)"
+)
+TIME_SUFFIX_NAME = r"\w+_(?:ps|cycles)"
+UNORDERED_TYPE_RE = re.compile(r"\bstd\s*::\s*unordered_(?:multi)?(?:map|set)\s*<")
+
+
+def balanced_angle_end(text, open_idx):
+    """Index one past the matching '>' for the '<' at `open_idx`, or -1."""
+    depth = 0
+    i = open_idx
+    while i < len(text):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}" and depth == 0:
+            return -1
+        i += 1
+    return -1
+
+
+# ---------------------------------------------------------------------------
+# Check: nondeterministic-iteration
+
+
+def collect_unordered_names(stripped_by_file):
+    """Identifiers declared anywhere in the scan set with a type mentioning
+    std::unordered_{map,set} (including nested, e.g. a vector of maps)."""
+    names = set()
+    for stripped in stripped_by_file.values():
+        for m in UNORDERED_TYPE_RE.finditer(stripped):
+            end = balanced_angle_end(stripped, stripped.index("<", m.start()))
+            if end < 0:
+                continue
+            # Walk outward over any enclosing template arguments
+            # (vector<unordered_map<...>> v) to the end of the full type,
+            # then take the declared identifier that follows.
+            j = end
+            while j < len(stripped) and stripped[j] in "> \t\n":
+                j += 1
+            tail = stripped[j : j + 200]
+            dm = re.match(r"[&*\s]*([A-Za-z_]\w*)\s*[;={(,)]", tail)
+            if dm and dm.group(1) not in ("const", "constexpr", "mutable"):
+                names.add(dm.group(1))
+    return names
+
+
+def check_nondeterministic_iteration(path, stripped_lines, ctx):
+    """Range-for / iterator traversal of an unordered container.
+
+    Hash-map iteration order is unspecified and varies with insertion
+    history, libstdc++ version, and (for pointer keys) ASLR: any loop
+    over an unordered container that feeds output, stats, or command
+    ordering breaks run-to-run determinism. Lookup (find/count/[]/erase)
+    is fine. Fix: use an ordered container, or materialize + sort before
+    iterating (suppress the materializing line with a justification).
+    """
+    findings = []
+    names = ctx["unordered_names"]
+    if not names:
+        return findings
+    name_alt = "|".join(re.escape(n) for n in sorted(names))
+    range_for = re.compile(
+        r"for\s*\([^;)]*:\s*\*?(?:\w+(?:\.|->))*(%s)\b(?:\s*\[[^\]]*\])?\s*\)" % name_alt
+    )
+    begin_call = re.compile(
+        r"\b(%s)\b(?:\s*\[[^\]]*\])?\s*\.\s*c?r?begin\s*\(" % name_alt
+    )
+    for i, line in enumerate(stripped_lines, 1):
+        m = range_for.search(line) or begin_call.search(line)
+        if m:
+            findings.append(
+                Finding(
+                    path,
+                    i,
+                    "nondeterministic-iteration",
+                    f"iteration over unordered container '{m.group(1)}': hash-map "
+                    "order is unspecified and breaks run-to-run determinism; use an "
+                    "ordered container or sort a materialized copy before iterating",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Check: banned-entropy
+
+ENTROPY_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*rand\b|(?<![\w.:>])s?rand\s*\("), "std::rand"),
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd\s*::\s*mt19937(?:_64)?\b"), "std::mt19937"),
+    (
+        re.compile(r"\bstd\s*::\s*chrono\s*::\s*system_clock\b"),
+        "std::chrono::system_clock",
+    ),
+    (
+        re.compile(r"\bstd\s*::\s*chrono\s*::\s*steady_clock\b"),
+        "std::chrono::steady_clock",
+    ),
+    (
+        re.compile(r"\bstd\s*::\s*chrono\s*::\s*high_resolution_clock\b"),
+        "std::chrono::high_resolution_clock",
+    ),
+    (re.compile(r"\bstd\s*::\s*time\s*\(|(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0|\))"),
+     "time()"),
+    (re.compile(r"(?<![\w.:>])gettimeofday\s*\("), "gettimeofday"),
+    (re.compile(r"(?<![\w.:>])clock_gettime\s*\("), "clock_gettime"),
+]
+
+# Host-timing code measures the simulator, not the simulation: its clock
+# reads never feed scenario JSON payloads.
+ENTROPY_ALLOWED = re.compile(r"(^|/)src/cli/(measure|perf)\.(hpp|cpp)$")
+
+
+def check_banned_entropy(path, stripped_lines, ctx):
+    """Wall-clock reads and unseeded/system randomness in simulation code.
+
+    Every simulator value must derive from the scenario seed through the
+    deterministic Xoshiro/SplitMix generators in common/rng.hpp; host
+    clocks and system entropy make output depend on the machine and the
+    moment. Host-timing code (src/cli/measure, src/cli/perf) is exempt —
+    it measures the simulator itself.
+    """
+    findings = []
+    if ENTROPY_ALLOWED.search(path):
+        return findings
+    for i, line in enumerate(stripped_lines, 1):
+        for regex, label in ENTROPY_PATTERNS:
+            if regex.search(line):
+                findings.append(
+                    Finding(
+                        path,
+                        i,
+                        "banned-entropy",
+                        f"{label} is nondeterministic; simulation code must use the "
+                        "seeded Xoshiro256**/SplitMix64 generators in common/rng.hpp "
+                        "(host-timing belongs in src/cli/measure or src/cli/perf)",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Check: raw-time-units
+
+PARAM_OR_FIELD_RE = re.compile(
+    r"\b(?:const\s+)?(%s)\s*[&]?\s+(%s)\s*[,;={)\[]" % (RAW_INT_TYPE, TIME_SUFFIX_NAME)
+)
+RAW_RETURN_RE = re.compile(
+    r"\b(?:const\s+)?(%s)\s+[&]?\s*(%s)\s*\(" % (RAW_INT_TYPE, TIME_SUFFIX_NAME)
+)
+MIXED_ARITH_RE = re.compile(
+    r"\b\w+_ps\b\s*[-+*/%]\s*\w+_cycles\b|\b\w+_cycles\b\s*[-+*/%]\s*\w+_ps\b"
+)
+
+
+def check_raw_time_units(path, stripped_lines, ctx):
+    """Raw integers posing as time quantities in public headers.
+
+    An `std::int64_t window_ps` and an `std::int64_t window_cycles` add,
+    compare, and convert silently — the classic unit bug the strong
+    `Picoseconds` / `Cycles` wrappers in common/units.hpp exist to make
+    unrepresentable. In public headers (.hpp under src/), parameters,
+    returns, and fields suffixed `_ps` / `_cycles` must use the wrapper
+    types; arithmetic mixing the two suffixes is flagged everywhere.
+    """
+    findings = []
+    is_header = path.endswith((".hpp", ".h"))
+    for i, line in enumerate(stripped_lines, 1):
+        if is_header:
+            for m in PARAM_OR_FIELD_RE.finditer(line):
+                findings.append(
+                    Finding(
+                        path,
+                        i,
+                        "raw-time-units",
+                        f"'{m.group(2)}' is declared {m.group(1)}; time quantities in "
+                        "public headers must use Picoseconds/Cycles from "
+                        "common/units.hpp",
+                    )
+                )
+            for m in RAW_RETURN_RE.finditer(line):
+                # A declaration like `int64_t foo_cycles(` is a function
+                # returning a raw int; skip if PARAM_OR_FIELD already got it.
+                findings.append(
+                    Finding(
+                        path,
+                        i,
+                        "raw-time-units",
+                        f"function '{m.group(2)}' returns raw {m.group(1)}; return "
+                        "Picoseconds/Cycles from common/units.hpp instead",
+                    )
+                )
+        for m in MIXED_ARITH_RE.finditer(line):
+            findings.append(
+                Finding(
+                    path,
+                    i,
+                    "raw-time-units",
+                    "arithmetic mixes *_ps and *_cycles quantities; convert "
+                    "explicitly through Frequency before combining",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Check: float-accumulation-order
+
+FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+[&]?\s*([A-Za-z_]\w*)\b")
+# Declarations that make an accumulator definitely NOT floating-point, so a
+# float literal on the right-hand side (e.g. inside a comparison selecting a
+# char appended to a std::string) is not misattributed to the accumulation.
+NONFLOAT_DECL_RE = re.compile(
+    r"\b(?:(?:std::)?(?:string|u?int(?:8|16|32|64)_t|size_t)|bool|char"
+    r"|(?:unsigned\s+|signed\s+)?(?:long\s+long|long|int|short)"
+    r"|Picoseconds|Cycles|Frequency)\s+[&]?\s*([A-Za-z_]\w*)\b"
+)
+FLOAT_HINT_RE = re.compile(
+    r"static_cast\s*<\s*(?:double|float)\s*>|\b\d+\.\d*(?:[eE][-+]?\d+)?[fF]?\b"
+)
+
+
+def check_float_accumulation(path, stripped_lines, ctx):
+    """Floating-point `+=` reductions outside common/stats.
+
+    FP addition is non-associative: the moment a reduction's iteration
+    order changes (the parallel core will shard exactly these loops), the
+    low bits of the sum change and golden hashes drift. Accumulations
+    that affect output must run through the fixed-order helpers in
+    common/stats, use integer arithmetic, or carry a justification that
+    the traversal order is structurally fixed.
+    """
+    findings = []
+    if re.search(r"(^|/)src/common/stats\.(hpp|cpp)$", path):
+        return findings
+    float_names = set()
+    nonfloat_names = set()
+    for line in stripped_lines:
+        for m in FLOAT_DECL_RE.finditer(line):
+            if m.group(1) not in ("const", "constexpr"):
+                float_names.add(m.group(1))
+        for m in NONFLOAT_DECL_RE.finditer(line):
+            if m.group(1) not in ("const", "constexpr"):
+                nonfloat_names.add(m.group(1))
+    acc_re = re.compile(r"([A-Za-z_]\w*(?:\.\w+|\[[^\]]*\])*)\s*\+=\s*(.+)$")
+    for i, line in enumerate(stripped_lines, 1):
+        m = acc_re.search(line)
+        if not m:
+            continue
+        lhs_root = re.match(r"[A-Za-z_]\w*", m.group(1)).group(0)
+        rhs = m.group(2)
+        if lhs_root in float_names or (
+            lhs_root not in nonfloat_names and FLOAT_HINT_RE.search(rhs)
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    i,
+                    "float-accumulation-order",
+                    f"floating-point accumulation into '{m.group(1)}': FP addition "
+                    "is non-associative, so iteration-order changes move the low "
+                    "bits; use common/stats, integers, or justify a fixed order",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Optional clang (libclang) engine
+
+
+def try_load_clang():
+    try:
+        import clang.cindex as cindex  # type: ignore
+
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+def clang_findings_for_file(cindex, path, abs_path, ctx):
+    """AST-accurate variants of the type-sensitive checks for one file.
+
+    Returns None when the file cannot be parsed, so the caller falls back
+    to the token engine for it. The banned-entropy and
+    float-accumulation-order checks are token-shaped even under clang.
+    """
+    try:
+        tu = cindex.Index.create().parse(
+            str(abs_path),
+            args=["-std=c++20", "-I", str(ctx["repo"] / "src")],
+            options=cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0,
+        )
+    except Exception:
+        return None
+    if any(d.severity >= 4 for d in tu.diagnostics):  # Fatal: wrong flags.
+        return None
+    findings = []
+    K = cindex.CursorKind
+
+    def type_is_unordered(t):
+        return "unordered_map" in t.spelling or "unordered_set" in t.spelling
+
+    def type_is_raw_int(t):
+        canon = t.get_canonical().spelling
+        return canon in (
+            "int", "long", "long long", "short", "unsigned int", "unsigned long",
+            "unsigned long long", "unsigned short", "char", "signed char",
+            "unsigned char",
+        )
+
+    for cur in tu.cursor.walk_preorder():
+        if cur.location.file is None or str(cur.location.file) != str(abs_path):
+            continue
+        if cur.kind == K.CXX_FOR_RANGE_STMT:
+            children = list(cur.get_children())
+            if len(children) >= 2 and type_is_unordered(children[-2].type):
+                findings.append(
+                    Finding(
+                        path, cur.location.line, "nondeterministic-iteration",
+                        "range-for over an unordered container (clang engine): "
+                        "hash-map order is unspecified; use an ordered container "
+                        "or sort a materialized copy",
+                    )
+                )
+        if path.endswith((".hpp", ".h")):
+            if cur.kind in (K.PARM_DECL, K.FIELD_DECL):
+                name = cur.spelling or ""
+                if re.fullmatch(TIME_SUFFIX_NAME, name) and type_is_raw_int(cur.type):
+                    findings.append(
+                        Finding(
+                            path, cur.location.line, "raw-time-units",
+                            f"'{name}' is a raw integer (clang engine); use "
+                            "Picoseconds/Cycles from common/units.hpp",
+                        )
+                    )
+            if cur.kind in (K.CXX_METHOD, K.FUNCTION_DECL):
+                name = cur.spelling or ""
+                if re.fullmatch(TIME_SUFFIX_NAME, name) and type_is_raw_int(
+                    cur.result_type
+                ):
+                    findings.append(
+                        Finding(
+                            path, cur.location.line, "raw-time-units",
+                            f"function '{name}' returns a raw integer (clang "
+                            "engine); return Picoseconds/Cycles instead",
+                        )
+                    )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Registry and driver
+
+CHECKS = {
+    "nondeterministic-iteration": check_nondeterministic_iteration,
+    "banned-entropy": check_banned_entropy,
+    "raw-time-units": check_raw_time_units,
+    "float-accumulation-order": check_float_accumulation,
+}
+
+# Checks the clang engine replaces (the rest always run as token checks).
+CLANG_COVERED = {"nondeterministic-iteration", "raw-time-units"}
+
+SOURCE_EXTS = (".cpp", ".cc", ".cxx", ".hpp", ".h")
+
+
+def gather_files(paths):
+    files = []
+    for p in paths:
+        p = pathlib.Path(p)
+        if p.is_dir():
+            files.extend(sorted(q for q in p.rglob("*") if q.suffix in SOURCE_EXTS))
+        elif p.is_file():
+            files.append(p)
+        else:
+            raise FileNotFoundError(p)
+    return files
+
+
+def run(paths, repo, checks, engine):
+    files = gather_files(paths)
+    raw_by_file = {}
+    stripped_by_file = {}
+    rel_by_file = {}
+    for f in files:
+        text = f.read_text(encoding="utf-8", errors="replace")
+        raw_by_file[f] = text.splitlines()
+        stripped_by_file[f] = strip_comments_and_strings(text)
+        try:
+            rel_by_file[f] = f.resolve().relative_to(repo.resolve()).as_posix()
+        except ValueError:
+            rel_by_file[f] = f.as_posix()
+
+    ctx = {
+        "repo": repo,
+        "unordered_names": collect_unordered_names(stripped_by_file),
+    }
+
+    cindex = try_load_clang() if engine in ("auto", "clang") else None
+    engine_used = "clang" if cindex else "tokens"
+    if engine == "clang" and not cindex:
+        print("easydram-lint: clang engine requested but clang.cindex is "
+              "unavailable; falling back to tokens", file=sys.stderr)
+
+    findings = []
+    for f in files:
+        path = rel_by_file[f]
+        stripped_lines = stripped_by_file[f].splitlines()
+        clang_results = None
+        if cindex:
+            clang_results = clang_findings_for_file(cindex, path, f, ctx)
+        for name in checks:
+            if clang_results is not None and name in CLANG_COVERED:
+                per_check = [x for x in clang_results if x.check == name]
+            else:
+                per_check = CHECKS[name](path, stripped_lines, ctx)
+            for finding in per_check:
+                if not is_suppressed(raw_by_file[f], finding.line, finding.check):
+                    findings.append(finding)
+
+    # De-duplicate (a line can match several sub-patterns) and order
+    # deterministically — the linter practices what it preaches.
+    seen = set()
+    unique = []
+    for x in sorted(findings, key=Finding.key):
+        if x.key() not in seen:
+            seen.add(x.key())
+            unique.append(x)
+    return unique, engine_used, len(files)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="easydram-lint",
+        description="Determinism-contract static analysis (see docs/linting.md).",
+    )
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to scan (default: src/)")
+    ap.add_argument("--repo", default=None,
+                    help="repository root (default: this script's grandparent)")
+    ap.add_argument("--check", action="append", dest="checks", metavar="NAME",
+                    help="run only NAME (repeatable; default: all checks)")
+    ap.add_argument("--engine", choices=("auto", "tokens", "clang"),
+                    default="auto", help="analysis engine (default: auto)")
+    ap.add_argument("--format", choices=("human", "json"), default="human")
+    ap.add_argument("--list-checks", action="store_true",
+                    help="print registered check names and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        for name, fn in CHECKS.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name}: {summary}")
+        return 0
+
+    repo = pathlib.Path(args.repo) if args.repo else pathlib.Path(
+        __file__).resolve().parent.parent.parent
+    checks = args.checks or list(CHECKS)
+    for name in checks:
+        if name not in CHECKS:
+            print(f"easydram-lint: unknown check '{name}' "
+                  f"(known: {', '.join(CHECKS)})", file=sys.stderr)
+            return 2
+    paths = args.paths or [repo / "src"]
+
+    try:
+        findings, engine_used, n_files = run(paths, repo, checks, args.engine)
+    except FileNotFoundError as e:
+        print(f"easydram-lint: no such path: {e}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "tool": "easydram-lint",
+                "engine": engine_used,
+                "files_scanned": n_files,
+                "checks": checks,
+                "findings": [dataclasses.asdict(x) for x in findings],
+            },
+            indent=2,
+        ))
+    else:
+        for x in findings:
+            print(f"{x.file}:{x.line}: [{x.check}] {x.message}")
+        status = "clean" if not findings else f"{len(findings)} finding(s)"
+        print(f"easydram-lint: {status} over {n_files} file(s) "
+              f"({engine_used} engine, checks: {', '.join(checks)})")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
