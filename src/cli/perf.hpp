@@ -32,6 +32,12 @@ struct PerfBenchOutcome {
   std::int64_t work_items = 0;  ///< Requests driven per rep (0 = untracked).
   std::vector<double> host_seconds;  ///< One entry per repetition.
   bool finite = true;  ///< All measurements were positive and finite.
+  /// Bench-specific structured payload (null unless the bench provides
+  /// one). channel_parallel_scaling reports its worker-count sweep here:
+  /// timings at 1/2/4/8 pump workers, speedup-vs-1, and the `threads` /
+  /// `host_cores` metadata that makes the numbers interpretable across
+  /// machines.
+  Json detail;
 };
 
 /// Runs the registered host-performance benches (micro read/write bursts,

@@ -10,6 +10,7 @@
 
 #include "cli/measure.hpp"
 #include "cli/scenario.hpp"
+#include "cli/thread_budget.hpp"
 #include "cli/thread_pool.hpp"
 #include "common/table.hpp"
 
@@ -41,12 +42,14 @@ double read_burst_throughput(const sys::SystemConfig& cfg, int n_requests) {
 }
 
 sys::SystemConfig memsys_config(std::uint64_t seed, std::uint32_t channels,
-                                std::uint32_t ranks, smc::MappingKind mapping) {
+                                std::uint32_t ranks, smc::MappingKind mapping,
+                                unsigned pump_workers = 1) {
   sys::SystemConfig cfg = sys::jetson_nano_time_scaling();
   cfg.variation.seed = seed;
   cfg.geometry.channels = channels;
   cfg.geometry.ranks_per_channel = ranks;
   cfg.mapping = mapping;
+  cfg.pump_workers = pump_workers;
   return cfg;
 }
 
@@ -67,20 +70,22 @@ Json run_channel_scaling(const RunOptions& opts) {
     std::sort(channel_counts.begin(), channel_counts.end());
   }
 
-  ThreadPool pool(opts.threads);
   const std::size_t n_mappings = std::size(kMappings);
   const std::size_t per_rep = channel_counts.size() * n_mappings;
-  const auto all = parallel_map(
-      pool, static_cast<std::size_t>(opts.iters) * per_rep, [&](std::size_t task) {
-        const std::size_t rep = task / per_rep;
-        const std::size_t which = task % per_rep;
-        const std::uint32_t channels = channel_counts[which / n_mappings];
-        const smc::MappingKind mapping = kMappings[which % n_mappings];
-        return read_burst_throughput(
-            memsys_config(rep_seed(opts, static_cast<int>(rep)), channels,
-                          opts.ranks, mapping),
-            kBurstRequests);
-      });
+  const std::size_t n_tasks = static_cast<std::size_t>(opts.iters) * per_rep;
+  const ThreadBudget budget = split_thread_budget(
+      opts.threads, opts.pump_workers, n_tasks, channel_counts.back());
+  ThreadPool pool(budget.sweep_threads);
+  const auto all = parallel_map(pool, n_tasks, [&](std::size_t task) {
+    const std::size_t rep = task / per_rep;
+    const std::size_t which = task % per_rep;
+    const std::uint32_t channels = channel_counts[which / n_mappings];
+    const smc::MappingKind mapping = kMappings[which % n_mappings];
+    return read_burst_throughput(
+        memsys_config(rep_seed(opts, static_cast<int>(rep)), channels,
+                      opts.ranks, mapping, budget.pump_workers),
+        kBurstRequests);
+  });
 
   TextTable t;
   t.set_header({"Channels", "linear (req/us)", "line (req/us)",
@@ -147,20 +152,23 @@ Json run_rank_interleaving(const RunOptions& opts) {
     std::sort(rank_counts.begin(), rank_counts.end());
   }
 
-  ThreadPool pool(opts.threads);
   const std::size_t n_mappings = std::size(kMappings);
   const std::size_t per_rep = rank_counts.size() * n_mappings;
-  const auto all = parallel_map(
-      pool, static_cast<std::size_t>(opts.iters) * per_rep, [&](std::size_t task) {
-        const std::size_t rep = task / per_rep;
-        const std::size_t which = task % per_rep;
-        const std::uint32_t ranks = rank_counts[which / n_mappings];
-        const smc::MappingKind mapping = kMappings[which % n_mappings];
-        return read_burst_throughput(
-            memsys_config(rep_seed(opts, static_cast<int>(rep)), opts.channels,
-                          ranks, mapping),
-            kBurstRequests);
-      });
+  const std::size_t n_tasks = static_cast<std::size_t>(opts.iters) * per_rep;
+  const ThreadBudget budget = split_thread_budget(opts.threads,
+                                                  opts.pump_workers, n_tasks,
+                                                  opts.channels);
+  ThreadPool pool(budget.sweep_threads);
+  const auto all = parallel_map(pool, n_tasks, [&](std::size_t task) {
+    const std::size_t rep = task / per_rep;
+    const std::size_t which = task % per_rep;
+    const std::uint32_t ranks = rank_counts[which / n_mappings];
+    const smc::MappingKind mapping = kMappings[which % n_mappings];
+    return read_burst_throughput(
+        memsys_config(rep_seed(opts, static_cast<int>(rep)), opts.channels,
+                      ranks, mapping, budget.pump_workers),
+        kBurstRequests);
+  });
 
   TextTable t;
   t.set_header({"Ranks/channel", "linear (req/us)", "line (req/us)",

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace easydram::cli {
+
+/// How one `--threads N` host budget is split between the two places the
+/// CLI can spend host parallelism: the scenario-level parameter sweep
+/// (independent system builds, ThreadPool) and each system's internal
+/// channel-slice pump (sys::SystemConfig::pump_workers). Splitting one
+/// budget instead of multiplying the two keeps `--threads 8` meaning
+/// "about eight busy host threads", not 8 sweep tasks x 8 pump workers.
+struct ThreadBudget {
+  int sweep_threads = 1;
+  unsigned pump_workers = 1;
+};
+
+/// Splits `threads` between sweep- and pump-level parallelism.
+///
+/// `forced_pump` (from `--pump-workers`) wins when nonzero: the sweep gets
+/// whatever multiple of it still fits the budget. Otherwise the split is
+/// sweep-first — independent sweep tasks scale embarrassingly, so they
+/// absorb the budget up to the task count and only the leftover factor goes
+/// to intra-system pump workers (capped at the widest channel count, past
+/// which extra workers cannot shard anything).
+///
+/// The default `--threads 1` yields {1, 1}: the serial engines, and
+/// therefore byte-identical output to every pre-parallel build. Any split
+/// produces the same scenario results — the pump engine is bit-exact at
+/// any worker count — so this division is purely a host-speed decision.
+inline ThreadBudget split_thread_budget(int threads, unsigned forced_pump,
+                                        std::size_t sweep_tasks,
+                                        std::uint32_t max_channels) {
+  ThreadBudget b;
+  const int total = std::max(threads, 1);
+  if (forced_pump > 0) {
+    b.pump_workers = forced_pump;
+    b.sweep_threads = std::max(total / static_cast<int>(forced_pump), 1);
+    return b;
+  }
+  b.sweep_threads = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(total), std::max<std::size_t>(sweep_tasks, 1)));
+  const unsigned leftover =
+      static_cast<unsigned>(total / std::max(b.sweep_threads, 1));
+  b.pump_workers = std::clamp(leftover, 1u, std::max(max_channels, 1u));
+  return b;
+}
+
+}  // namespace easydram::cli

@@ -29,6 +29,32 @@ class CompletionRing {
     return slot(id).state == State::kReady;
   }
 
+  /// Registers `id` as submitted-but-not-completed and records the channel
+  /// it was routed to. The channel is what lets a wait() on a still-pending
+  /// id be decomposed into a per-channel pump goal: only `channel`'s slice
+  /// can ever produce this completion.
+  void note_pending(std::uint64_t id, std::uint32_t channel) {
+    EASYDRAM_EXPECTS(id >= base_id_);
+    const std::uint64_t off = id - base_id_;
+    if (off >= slots_.size()) grow(off + 1);
+    if (off >= window_) window_ = off + 1;
+    Slot& s = slot(id);
+    EASYDRAM_EXPECTS(s.state == State::kEmpty);
+    s.channel = channel;
+    s.state = State::kPending;
+  }
+
+  bool pending(std::uint64_t id) const {
+    if (id < base_id_ || id - base_id_ >= window_) return false;
+    return slot(id).state == State::kPending;
+  }
+
+  /// Channel a pending id was routed to (valid until the id is consumed).
+  std::uint32_t channel(std::uint64_t id) const {
+    EASYDRAM_EXPECTS(pending(id) || ready(id));
+    return slot(id).channel;
+  }
+
   /// Records the completion of `id`. Ids at or above the base may arrive
   /// in any order; each id completes exactly once.
   void put(std::uint64_t id, std::int64_t release_proc_cycle, bool ok) {
@@ -37,7 +63,7 @@ class CompletionRing {
     if (off >= slots_.size()) grow(off + 1);
     if (off >= window_) window_ = off + 1;
     Slot& s = slot(id);
-    EASYDRAM_EXPECTS(s.state == State::kEmpty);
+    EASYDRAM_EXPECTS(s.state == State::kEmpty || s.state == State::kPending);
     s.release_proc_cycle = release_proc_cycle;
     s.ok = ok;
     s.state = State::kReady;
@@ -82,10 +108,11 @@ class CompletionRing {
   std::uint64_t window() const { return window_; }
 
  private:
-  enum class State : std::uint8_t { kEmpty, kReady, kConsumed };
+  enum class State : std::uint8_t { kEmpty, kPending, kReady, kConsumed };
 
   struct Slot {
     std::int64_t release_proc_cycle = 0;
+    std::uint32_t channel = 0;
     State state = State::kEmpty;
     bool ok = true;
   };

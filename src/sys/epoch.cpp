@@ -1,0 +1,325 @@
+#include "sys/epoch.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "sys/system.hpp"
+
+namespace easydram::sys {
+namespace {
+
+/// Iterations the coordinator pumps serially before waking the pool. Any
+/// value produces bit-identical output (the serial loop and the sharded
+/// continuation compute the same schedule); this only decides which phases
+/// are long enough to amortize a worker rendezvous. The per-submit FIFO
+/// back-pressure phases are typically a handful of iterations and stay
+/// serial; the drain/completion phases of batched workloads run long and
+/// get sharded.
+constexpr int kSerialPrefix = 64;
+
+/// Bounded spin (in yield slices) at the phase-start/phase-end barriers
+/// before parking on the condvar: phases arrive back to back on the
+/// submit/wait path, so the next one usually shows up within the window.
+constexpr int kSpinIters = 256;
+
+}  // namespace
+
+EpochScheduler::EpochScheduler(EasyDramSystem& sys, unsigned workers)
+    : sys_(sys),
+      workers_(workers),
+      exact_smc_clock_(1'000'000'000'000 % sys.cfg_.tile.core_clock.hertz == 0),
+      state_(sys.channels_.size()),
+      drained_(sys.channels_.size()) {
+  EASYDRAM_EXPECTS(workers_ >= 2);
+  EASYDRAM_EXPECTS(workers_ <= sys.channels_.size());
+}
+
+EpochScheduler::~EpochScheduler() {
+  stop_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cv_start_.notify_all();
+  }
+  for (std::thread& t : pool_) t.join();
+}
+
+void EpochScheduler::ensure_pool() {
+  if (!pool_.empty()) return;
+  pool_.reserve(workers_ - 1);
+  for (unsigned w = 1; w < workers_; ++w) {
+    pool_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+bool EpochScheduler::phase_done(const PumpPhase& phase) {
+  switch (phase.goal) {
+    case PumpGoal::kFifoRoom:
+      return !sys_.channels_[phase.channel]->tile.incoming().full();
+    case PumpGoal::kCompletion:
+      return sys_.completed_.ready(phase.id);
+    case PumpGoal::kAllIdle:
+      return sys_.all_idle();
+    case PumpGoal::kExitCritical:
+      for (const auto& ch : sys_.channels_) {
+        if (ch->keeper.counters().critical()) return false;
+      }
+      return true;
+  }
+  return true;
+}
+
+bool EpochScheduler::channel_pred_holds(const PumpPhase& phase,
+                                        std::uint32_t channel,
+                                        bool saw_completion) {
+  EasyDramSystem::ChannelSlice& slice = *sys_.channels_[channel];
+  switch (phase.goal) {
+    case PumpGoal::kFifoRoom:
+      return channel != phase.channel || !slice.tile.incoming().full();
+    case PumpGoal::kCompletion:
+      return channel != phase.channel || saw_completion;
+    case PumpGoal::kAllIdle:
+      return slice.tile.incoming().empty() && slice.controller->idle();
+    case PumpGoal::kExitCritical:
+      return !slice.keeper.counters().critical();
+  }
+  return true;
+}
+
+bool EpochScheduler::channel_is_quiescent(std::uint32_t channel) {
+  EasyDramSystem::ChannelSlice& slice = *sys_.channels_[channel];
+  return slice.controller->idle() && slice.tile.incoming().empty() &&
+         slice.tile.outgoing().empty() &&
+         !slice.keeper.counters().critical() &&
+         slice.tile.meter().pending().count == 0;
+}
+
+void EpochScheduler::bulk_idle_charge(std::uint32_t channel,
+                                      std::int64_t iterations) {
+  if (iterations <= 0) return;
+  EasyDramSystem::ChannelSlice& slice = *sys_.channels_[channel];
+  if (slice.api.setup_mode()) return;  // Setup-mode polls charge nothing.
+  // n quiescent iterations charge exactly n poll costs. With an exact SMC
+  // clock (1e12 % hertz == 0; guarded by the caller) cycles_to_ps is
+  // linear, so one merged charge lands the wall clock — and its derived
+  // global-counter mirror, which is a pure floor of the wall — on the very
+  // picosecond the serial per-iteration schedule reaches.
+  tile::CycleMeter& meter = slice.tile.meter();
+  meter.charge(meter.costs().poll_iteration * iterations);
+  slice.keeper.account_smc_cycles(meter.take());
+}
+
+void EpochScheduler::run_phase(const PumpPhase& phase) {
+  // Serial prefix: exactly the serial engine's pump_until loop. Short
+  // phases finish here without ever waking the pool.
+  int iterations = 0;
+  while (!phase_done(phase)) {
+    if (iterations >= kSerialPrefix) {
+      run_parallel(phase, iterations);
+      return;
+    }
+    sys_.pump_once();
+    EASYDRAM_EXPECTS(++iterations < phase.budget);
+  }
+}
+
+void EpochScheduler::run_parallel(const PumpPhase& phase, int start) {
+  ensure_pool();
+  // Seed the per-channel view: every channel has executed `start` serial
+  // iterations; a channel whose predicate already holds gets t_pred =
+  // start. At least one predicate is still false (phase_done was false
+  // when the prefix gave up), so i* >= start + 1 and the seeds can never
+  // raise max t_c above its serial value.
+  for (std::size_t c = 0; c < state_.size(); ++c) {
+    state_[c].progress.store(start, std::memory_order_relaxed);
+    const bool holds =
+        channel_pred_holds(phase, static_cast<std::uint32_t>(c), false);
+    state_[c].t_pred.store(holds ? start : -1, std::memory_order_relaxed);
+  }
+  abort_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    phase_ = phase;
+    running_.store(static_cast<int>(pool_.size()), std::memory_order_relaxed);
+    // Release-publish the phase inputs; workers acquire via seq_.
+    seq_.fetch_add(1, std::memory_order_release);
+    cv_start_.notify_all();
+  }
+
+  std::exception_ptr error;
+  try {
+    pump_block(0, phase);  // The coordinator is worker 0.
+  } catch (...) {
+    abort_.store(true, std::memory_order_relaxed);
+    error = std::current_exception();
+  }
+
+  // Phase-end barrier: spin briefly (workers finish nearly together), then
+  // park until the last worker checks out.
+  for (int spin = 0;
+       running_.load(std::memory_order_acquire) != 0 && spin < kSpinIters;
+       ++spin) {
+    std::this_thread::yield();
+  }
+  if (running_.load(std::memory_order_acquire) != 0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] {
+      return running_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  // Merge the slice-local completion buffers into the ring. put() is
+  // id-keyed, so any merge order yields the same ring state; channel order
+  // keeps the walk deterministic anyway.
+  for (auto& buffer : drained_) {
+    for (const DrainedCompletion& d : buffer) {
+      sys_.completed_.put(d.id, d.release_proc_cycle, d.ok);
+    }
+    buffer.clear();
+  }
+
+  if (!error && !errors_.empty()) error = errors_.front();
+  errors_.clear();
+  if (error) std::rethrow_exception(error);
+}
+
+void EpochScheduler::worker_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    bool have_phase = false;
+    for (int spin = 0; spin < kSpinIters; ++spin) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      if (seq_.load(std::memory_order_acquire) != seen) {
+        have_phase = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (!have_phase) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               seq_.load(std::memory_order_acquire) != seen;
+      });
+      if (stop_.load(std::memory_order_relaxed)) return;
+    }
+    seen = seq_.load(std::memory_order_acquire);
+    const PumpPhase phase = phase_;  // Published by the seq_ bump.
+    try {
+      pump_block(worker, phase);
+    } catch (...) {
+      abort_.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex_);
+      errors_.push_back(std::current_exception());
+    }
+    if (running_.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_done_.notify_one();
+    }
+  }
+}
+
+void EpochScheduler::pump_block(unsigned worker, const PumpPhase& phase) {
+  const std::size_t n = state_.size();
+  const std::size_t first = n * worker / workers_;
+  const std::size_t last = n * (worker + 1) / workers_;
+
+  struct Local {
+    std::uint32_t ch = 0;
+    std::int64_t prog = 0;
+    bool done = false;
+    bool saw_completion = false;
+  };
+  std::vector<Local> mine;
+  mine.reserve(last - first);
+  for (std::size_t c = first; c < last; ++c) {
+    Local l;
+    l.ch = static_cast<std::uint32_t>(c);
+    l.prog = state_[c].progress.load(std::memory_order_relaxed);
+    l.done = state_[c].t_pred.load(std::memory_order_relaxed) >= 0;
+    mine.push_back(l);
+  }
+
+  for (;;) {
+    if (abort_.load(std::memory_order_relaxed)) return;
+    // Chasing bound L = max_c (done_c ? t_c : progress_c + 1): a lower
+    // bound on i* at all times (an unsatisfied channel needs at least one
+    // more iteration), and exactly i* once every predicate holds. Relaxed
+    // loads only ever under-estimate, which is conservative.
+    std::int64_t bound = 0;
+    bool all_done = true;
+    for (std::size_t c = 0; c < n; ++c) {
+      const std::int64_t t = state_[c].t_pred.load(std::memory_order_relaxed);
+      if (t >= 0) {
+        bound = std::max(bound, t);
+      } else {
+        all_done = false;
+        bound = std::max(
+            bound, state_[c].progress.load(std::memory_order_relaxed) + 1);
+      }
+    }
+
+    bool advanced = false;
+    for (Local& l : mine) {
+      ChannelState& cs = state_[l.ch];
+      EasyDramSystem::ChannelSlice& slice = *sys_.channels_[l.ch];
+      // A channel without its predicate may always run one more iteration
+      // (its own t_c, and therefore i*, lies strictly ahead); a satisfied
+      // channel may only chase up to the current bound.
+      while (!l.done || l.prog < bound) {
+        if (abort_.load(std::memory_order_relaxed)) return;
+        if (l.done && exact_smc_clock_ && channel_is_quiescent(l.ch)) {
+          // Nothing can reach this channel for the rest of the phase:
+          // collapse the remaining poll-only iterations into one charge.
+          bulk_idle_charge(l.ch, bound - l.prog);
+          l.prog = bound;
+          cs.progress.store(l.prog, std::memory_order_relaxed);
+          advanced = true;
+          break;
+        }
+        sys_.step_channel(slice);
+        // Drain our own channel's responses into the slice-local buffer
+        // (publication happens at the phase barrier). This keeps the
+        // outgoing FIFO empty at each iteration boundary, exactly as the
+        // serial engine's end-of-iteration drain does.
+        auto& fifo = slice.tile.outgoing();
+        while (!fifo.empty()) {
+          const tile::Response& resp = fifo.front();
+          drained_[l.ch].push_back(
+              {resp.id, resp.release_proc_cycle, resp.ok});
+          if (phase.goal == PumpGoal::kCompletion && l.ch == phase.channel &&
+              resp.id == phase.id) {
+            l.saw_completion = true;
+          }
+          fifo.drop();
+        }
+        ++l.prog;
+        cs.progress.store(l.prog, std::memory_order_relaxed);
+        advanced = true;
+        if (!l.done) {
+          if (channel_pred_holds(phase, l.ch, l.saw_completion)) {
+            l.done = true;
+            cs.t_pred.store(l.prog, std::memory_order_relaxed);
+          } else {
+            // Same generosity as the serial pump_until guard.
+            EASYDRAM_EXPECTS(l.prog < phase.budget);
+          }
+        }
+        if (l.done && l.prog >= bound) break;
+      }
+    }
+
+    if (all_done) {
+      bool topped = true;
+      for (const Local& l : mine) {
+        if (l.prog < bound) {
+          topped = false;
+          break;
+        }
+      }
+      if (topped) return;  // bound == i*: this block matches the serial count.
+    }
+    if (!advanced) std::this_thread::yield();
+  }
+}
+
+}  // namespace easydram::sys

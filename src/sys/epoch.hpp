@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace easydram::sys {
+
+class EasyDramSystem;
+
+/// Goal of one pump phase: the four done-predicates the serial engine ever
+/// pumps toward, each of which decomposes into per-channel predicates that
+/// are channel-local and monotone for the duration of the phase. That
+/// decomposition is what makes the parallel pump bit-identical to the
+/// serial one — see docs/ARCHITECTURE.md, "Parallel pump".
+enum class PumpGoal : std::uint8_t {
+  kFifoRoom,      ///< `channel`'s incoming FIFO has room (submit back-pressure).
+  kCompletion,    ///< Request `id` completed on `channel` (wait()).
+  kAllIdle,       ///< Every channel: incoming empty + controller idle (drain).
+  kExitCritical,  ///< Every channel has left critical mode (reconcile).
+};
+
+struct PumpPhase {
+  PumpGoal goal = PumpGoal::kAllIdle;
+  std::uint32_t channel = 0;  ///< kFifoRoom / kCompletion target channel.
+  std::uint64_t id = 0;       ///< kCompletion target request id.
+  int budget = 100'000'000;   ///< Iteration guard (mirrors pump_until's).
+};
+
+/// Epoch/barrier scheduler that shards a system's channel slices across a
+/// worker pool while keeping observable state bit-identical to the serial
+/// round-robin pump at any worker count.
+///
+/// How a phase runs. The serial engine's `pump_until(done)` executes full
+/// round-robin iterations (every channel steps once per iteration) and
+/// stops before iteration i* + 1, where i* is the first iteration count
+/// after which `done` holds. Because every done-predicate splits into
+/// per-channel monotone predicates, i* = max over channels of t_c, where
+/// t_c is the first iteration after which channel c's predicate holds. The
+/// parallel engine therefore lets each worker pump its own channels
+/// independently — recording t_c when its predicate first holds — under a
+/// chasing bound L = max_c (done_c ? t_c : progress_c + 1), which is a
+/// lower bound on i* at all times. Once every channel's predicate holds,
+/// L == i* and every channel tops up to exactly i* iterations, i.e. the
+/// precise iteration count the serial engine would have executed. Channel
+/// state only ever couples through the completion ring (merged at the
+/// phase barrier, id-keyed and therefore order-independent) and the
+/// wall-clock max (reduced by the coordinator after the barrier), so the
+/// per-channel timelines are bit-identical to the serial schedule.
+///
+/// Short phases (the per-submit FIFO back-pressure path) never pay a
+/// worker rendezvous: the coordinator pumps the first kSerialPrefix
+/// iterations itself with the exact serial loop and only hands off to the
+/// pool when a phase turns out to be long enough to amortize the barrier.
+///
+/// Thread-safety: run_phase() is called by the owning system's driving
+/// thread only; workers touch exclusively their own channels' slices
+/// between the phase-start and phase-end barriers.
+class EpochScheduler {
+ public:
+  /// `workers` counts the caller too: W workers = the driving thread plus
+  /// W-1 pool threads (spawned lazily on the first long phase).
+  EpochScheduler(EasyDramSystem& sys, unsigned workers);
+  ~EpochScheduler();
+
+  EpochScheduler(const EpochScheduler&) = delete;
+  EpochScheduler& operator=(const EpochScheduler&) = delete;
+
+  /// Runs one pump phase to completion (including the serial prefix) and
+  /// merges worker-drained completions into the system's completion ring.
+  /// Rethrows the first worker exception (e.g. a budget ContractViolation).
+  void run_phase(const PumpPhase& phase);
+
+  unsigned workers() const { return workers_; }
+
+ private:
+  /// Completion metadata a worker drained from its own channel's outgoing
+  /// FIFO, published to the ring only at the phase-end barrier.
+  struct DrainedCompletion {
+    std::uint64_t id = 0;
+    std::int64_t release_proc_cycle = 0;
+    bool ok = true;
+  };
+
+  /// Cross-worker view of one channel's phase progress. Cache-line sized so
+  /// neighbouring channels' owners do not false-share.
+  struct alignas(64) ChannelState {
+    std::atomic<std::int64_t> progress{0};  ///< Iterations executed.
+    std::atomic<std::int64_t> t_pred{-1};   ///< First iteration pred held; -1 = not yet.
+  };
+
+  void ensure_pool();
+  void worker_loop(unsigned worker);
+  void run_parallel(const PumpPhase& phase, int start);
+  void pump_block(unsigned worker, const PumpPhase& phase);
+  bool phase_done(const PumpPhase& phase);
+  bool channel_pred_holds(const PumpPhase& phase, std::uint32_t channel,
+                          bool saw_completion);
+  bool channel_is_quiescent(std::uint32_t channel);
+  void bulk_idle_charge(std::uint32_t channel, std::int64_t iterations);
+
+  EasyDramSystem& sys_;
+  unsigned workers_;
+  /// Whether the SMC core clock divides a second exactly in picoseconds —
+  /// the condition under which n poll charges collapse into one bulk
+  /// charge without moving the wall clock by even a picosecond.
+  bool exact_smc_clock_;
+
+  std::vector<ChannelState> state_;
+  /// Per-channel slice-local completion buffers. A channel's owner appends
+  /// during the phase; the coordinator merges after the phase-end barrier.
+  std::vector<std::vector<DrainedCompletion>> drained_;
+
+  // Phase hand-off. The coordinator seeds state_/phase_ and then bumps
+  // seq_ (release); workers observe the bump (acquire) either in a short
+  // spin or under the mutex, so all phase inputs happen-before their reads.
+  std::mutex mutex_;                     // SLICE-SHARED(phase barrier)
+  std::condition_variable cv_start_;     // SLICE-SHARED(phase barrier)
+  std::condition_variable cv_done_;      // SLICE-SHARED(phase barrier)
+  PumpPhase phase_{};                    // SLICE-SHARED(published via seq_)
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<int> running_{0};
+  std::atomic<bool> abort_{false};
+  std::atomic<bool> stop_{false};
+  std::vector<std::exception_ptr> errors_;  // SLICE-SHARED(mutex_)
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace easydram::sys

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/rng.hpp"
+#include "sys/epoch.hpp"
 
 namespace easydram::sys {
 
@@ -94,7 +95,16 @@ EasyDramSystem::EasyDramSystem(const SystemConfig& cfg)
     slice.api.set_refresh_policy(refresh_policies_.back().get());
   }
   rebuild_controllers();
+  // The parallel pump engine is worth building only when there is more
+  // than one slice to shard; the serial engine remains the reference
+  // implementation (and the default). Any worker count yields bit-identical
+  // observable state, so clamping is purely a host-resource decision.
+  const unsigned workers = std::min(
+      std::max(cfg_.pump_workers, 1u), static_cast<unsigned>(channels_.size()));
+  if (workers > 1) epoch_ = std::make_unique<EpochScheduler>(*this, workers);
 }
+
+EasyDramSystem::~EasyDramSystem() = default;
 
 smc::EasyApi& EasyDramSystem::api(std::uint32_t channel) {
   EASYDRAM_EXPECTS(channel < channels_.size());
@@ -297,43 +307,51 @@ void EasyDramSystem::drain_outgoing() {
   }
 }
 
+bool EasyDramSystem::step_channel(ChannelSlice& ch) {
+  // Fast path for provably idle channels: with nothing staged, nothing
+  // arriving, and no critical-mode exit pending, a full controller step
+  // reduces to one charged poll iteration — apply exactly that charge
+  // and skip the scheduler machinery. (The poll charge is modeled SMC
+  // spin time, so it must happen either way to keep timelines
+  // bit-identical; in setup mode the step would not charge it either.)
+  tile::EasyTile& tile = ch.tile;
+  if (ch.controller->idle() && tile.incoming().empty() &&
+      tile.outgoing().empty() && !ch.keeper.counters().critical() &&
+      tile.meter().pending().count == 0) {
+    if (!ch.api.setup_mode()) {
+      tile.meter().charge(tile.meter().costs().poll_iteration);
+      ch.keeper.account_smc_cycles(tile.meter().take());
+    }
+    return false;
+  }
+  const bool worked = ch.controller->step(ch.api);
+  ch.keeper.account_smc_cycles(tile.meter().take());
+  if (!worked) {
+    // Only future-tagged requests remain on this channel: let its
+    // emulation point skip the idle gap so the head request becomes
+    // visible.
+    if (!tile.incoming().empty()) {
+      ch.keeper.skip_idle_until_proc_cycle(
+          tile.incoming().front().issue_proc_cycle);
+    }
+  }
+  return worked;
+}
+
 bool EasyDramSystem::pump_once() {
   bool any_worked = false;
   for (auto& ch : channels_) {
-    // Fast path for provably idle channels: with nothing staged, nothing
-    // arriving, and no critical-mode exit pending, a full controller step
-    // reduces to one charged poll iteration — apply exactly that charge
-    // and skip the scheduler machinery. (The poll charge is modeled SMC
-    // spin time, so it must happen either way to keep timelines
-    // bit-identical; in setup mode the step would not charge it either.)
-    tile::EasyTile& tile = ch->tile;
-    if (ch->controller->idle() && tile.incoming().empty() &&
-        tile.outgoing().empty() && !ch->keeper.counters().critical() &&
-        tile.meter().pending().count == 0) {
-      if (!ch->api.setup_mode()) {
-        tile.meter().charge(tile.meter().costs().poll_iteration);
-        ch->keeper.account_smc_cycles(tile.meter().take());
-      }
-      continue;
-    }
-    const bool worked = ch->controller->step(ch->api);
-    ch->keeper.account_smc_cycles(tile.meter().take());
-    if (!worked) {
-      // Only future-tagged requests remain on this channel: let its
-      // emulation point skip the idle gap so the head request becomes
-      // visible.
-      if (!tile.incoming().empty()) {
-        ch->keeper.skip_idle_until_proc_cycle(
-            tile.incoming().front().issue_proc_cycle);
-      }
-    }
-    any_worked = any_worked || worked;
+    any_worked = step_channel(*ch) || any_worked;
   }
   drain_outgoing();
   return any_worked;
 }
 
 void EasyDramSystem::pump_until_fifo_has_room(std::uint32_t channel) {
+  if (epoch_) {
+    epoch_->run_phase(PumpPhase{PumpGoal::kFifoRoom, channel, 0, 1'000'000});
+    return;
+  }
   pump_until(
       [this, channel] { return !channels_[channel]->tile.incoming().full(); },
       1'000'000);
@@ -348,6 +366,9 @@ std::uint64_t EasyDramSystem::submit(tile::Request req, std::uint32_t channel,
   req.issue_proc_cycle = now;
   req.arrival_wall = ch.keeper.wall();
   const std::uint64_t id = req.id;
+  // Record the routing decision: only this channel's slice can ever
+  // complete the id, which is what lets wait() become a per-channel goal.
+  completed_.note_pending(id, channel);
   ch.tile.incoming().push(std::move(req));
   return id;
 }
@@ -404,7 +425,14 @@ std::uint64_t EasyDramSystem::submit_profile(std::uint64_t paddr, Picoseconds tr
 }
 
 cpu::Completion EasyDramSystem::wait(std::uint64_t id) {
-  pump_until([this, id] { return completed_.ready(id); });
+  if (epoch_) {
+    if (!completed_.ready(id)) {
+      epoch_->run_phase(
+          PumpPhase{PumpGoal::kCompletion, completed_.channel(id), id});
+    }
+  } else {
+    pump_until([this, id] { return completed_.ready(id); });
+  }
   cpu::Completion c{completed_.release_proc_cycle(id), completed_.ok(id)};
   completed_.consume(id);
   return c;
@@ -425,15 +453,22 @@ cpu::RunResult EasyDramSystem::run(cpu::TraceSource& trace) {
   // the core's final cycle count. Each drain phase gets its own full pump
   // budget (they previously shared one guard, halving the second phase's).
   account_cpu_progress(result.cycles);
-  pump_until([this] { return all_idle(); });
-  // Let every controller observe its empty table and leave critical mode,
-  // resynchronising the time-scaling counters (Fig. 5(f)).
-  pump_until([this] {
-    for (const auto& ch : channels_) {
-      if (ch->keeper.counters().critical()) return false;
-    }
-    return true;
-  });
+  if (epoch_) {
+    epoch_->run_phase(PumpPhase{PumpGoal::kAllIdle});
+    // Let every controller observe its empty table and leave critical
+    // mode, resynchronising the time-scaling counters (Fig. 5(f)).
+    epoch_->run_phase(PumpPhase{PumpGoal::kExitCritical});
+  } else {
+    pump_until([this] { return all_idle(); });
+    // Let every controller observe its empty table and leave critical mode,
+    // resynchronising the time-scaling counters (Fig. 5(f)).
+    pump_until([this] {
+      for (const auto& ch : channels_) {
+        if (ch->keeper.counters().critical()) return false;
+      }
+      return true;
+    });
+  }
   drain_outgoing();
   completed_.clear();  // Unconsumed posted-write acks.
   return result;

@@ -24,6 +24,8 @@
 
 namespace easydram::sys {
 
+class EpochScheduler;
+
 /// Full-system configuration. The defaults model the paper's baseline: an
 /// A57-like processor (Jetson Nano target) time-scaled from a 100 MHz FPGA
 /// clock, EasyTile with a 100 MHz programmable core, and a single channel,
@@ -94,6 +96,13 @@ struct SystemConfig {
   /// (see DramDevice::retention_violations). Off by default; the
   /// raidr_misbinning scenario turns it on.
   bool track_retention = false;
+
+  /// Worker threads pumping the channel slices (clamped to the channel
+  /// count; 0 and 1 both mean the serial engine). Any value produces
+  /// bit-identical observable state — the epoch scheduler reproduces the
+  /// serial round-robin schedule exactly (see docs/ARCHITECTURE.md,
+  /// "Parallel pump") — so this is purely a host-speed knob.
+  unsigned pump_workers = 1;
 };
 
 /// Convenience presets matching the paper's evaluated configurations.
@@ -122,11 +131,14 @@ SystemConfig validation_reference();     ///< §6: direct 1 GHz RTL reference.
 ///
 /// Units: `paddr` arguments are byte addresses in the mapped physical
 /// space; `now` arguments are emulated-processor cycles; returned times
-/// are Picoseconds of FPGA wall. Thread-safety: none — one system is
-/// driven by one thread; parameter sweeps build one system per task.
+/// are Picoseconds of FPGA wall. Thread-safety: one system is driven by
+/// one thread; with `pump_workers > 1` it internally shards channel
+/// slices across an epoch-synchronized pool, but the public API remains
+/// single-caller. Parameter sweeps build one system per task.
 class EasyDramSystem final : public cpu::MemoryBackend {
  public:
   explicit EasyDramSystem(const SystemConfig& cfg);
+  ~EasyDramSystem() override;
 
   // --- Setup-phase access ---------------------------------------------------
 
@@ -237,6 +249,11 @@ class EasyDramSystem final : public cpu::MemoryBackend {
   std::uint32_t channel_of(std::uint64_t paddr) const;
   /// Runs SMC iterations until `channel`'s FIFO has room.
   void pump_until_fifo_has_room(std::uint32_t channel);
+  /// One main-loop iteration of `ch`'s controller: the idle fast path (one
+  /// poll-iteration charge) or one controller step plus idle-skip. Returns
+  /// whether the controller did real work. Touches only `ch`'s slice — the
+  /// unit the epoch scheduler shards across workers.
+  bool step_channel(ChannelSlice& ch);
   /// One main-loop iteration of every channel's controller (round-robin).
   bool pump_once();
   /// Pumps until `done()` holds. Every call gets its own full iteration
@@ -277,7 +294,15 @@ class EasyDramSystem final : public cpu::MemoryBackend {
   std::int64_t last_cpu_cycle_ = 0;
   /// Responses drained from the tiles, keyed by the dense request id
   /// stream (the core waits approximately in order; see CompletionRing).
-  CompletionRing completed_;
+  /// Workers never write it directly — they buffer completions per slice
+  /// and the scheduler merges at the phase barrier.
+  CompletionRing completed_;  // SLICE-SHARED(phase barrier)
+
+  friend class EpochScheduler;
+  /// Parallel pump engine; null for the serial engine (pump_workers <= 1
+  /// or a single channel). Declared last so worker threads are joined
+  /// before any state they reference is destroyed.
+  std::unique_ptr<EpochScheduler> epoch_;
 };
 
 }  // namespace easydram::sys

@@ -1,0 +1,46 @@
+// easydram-lint fixture: cross-slice-shared-state.
+// Expected findings in this file: 2 (mutable static counter, thread_local
+// scratch). The annotated, atomic, const, and suppressed statics must stay
+// clean, as must plain function declarations.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+inline std::int64_t positive_counter() {
+  static std::int64_t calls = 0;
+  return ++calls;
+}
+
+inline int positive_scratch() {
+  thread_local int scratch = 0;
+  return ++scratch;
+}
+
+inline std::int64_t annotated_shared() {
+  // SLICE-SHARED(phase barrier): exercises the annotation escape hatch.
+  static std::int64_t merged = 0;
+  return ++merged;
+}
+
+inline std::int64_t clean_atomic() {
+  static std::atomic<std::int64_t> hits{0};
+  return ++hits;
+}
+
+inline int clean_immutable() {
+  static const int table[3] = {1, 2, 3};
+  static constexpr int bias = 7;
+  return table[0] + bias;
+}
+
+static int clean_function_decl(int x);
+static int clean_function_decl(int x) { return x + 1; }
+
+inline std::int64_t quieted_static() {
+  static std::int64_t kept = 0;  // NOLINT-easydram(cross-slice-shared-state): fixture exercises suppression.
+  return ++kept;
+}
+
+}  // namespace fixture

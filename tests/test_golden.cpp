@@ -93,6 +93,37 @@ TEST(GoldenHashTest, DeterministicScenariosMatchCheckedInDigests) {
   }
 }
 
+/// Cross-thread determinism sweep: every multi-channel deterministic
+/// scenario must emit a bit-identical `results` payload whichever way the
+/// host budget is split — `--threads` values that auto-split into sweep +
+/// pump workers, and forced per-system pump worker counts. Only the
+/// `results` member is compared because the envelope records the requested
+/// `threads` value verbatim.
+TEST(GoldenHashTest, MultiChannelScenariosThreadCountInvariant) {
+  const char* kMultiChannel[] = {"channel_scaling", "rank_interleaving"};
+  for (const char* name : kMultiChannel) {
+    const Scenario* s = ScenarioRegistry::instance().find(name);
+    ASSERT_NE(s, nullptr) << name;
+    RunOptions base;
+    base.verbose = false;
+    base.channels = 8;  // Widest sweep point: 8-channel systems.
+    const std::string serial =
+        run_scenario(*s, base)["results"].dump_string();
+    for (const int threads : {2, 4}) {
+      RunOptions opts = base;
+      opts.threads = threads;
+      EXPECT_EQ(run_scenario(*s, opts)["results"].dump_string(), serial)
+          << name << " diverged at --threads " << threads;
+    }
+    for (const unsigned pump : {2u, 4u}) {
+      RunOptions opts = base;
+      opts.pump_workers = pump;
+      EXPECT_EQ(run_scenario(*s, opts)["results"].dump_string(), serial)
+          << name << " diverged at --pump-workers " << pump;
+    }
+  }
+}
+
 /// The registry growing a new scenario should force a conscious decision
 /// about its determinism (add it to kGolden or document why not).
 TEST(GoldenHashTest, EveryScenarioIsClassified) {

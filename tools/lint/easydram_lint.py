@@ -459,6 +459,65 @@ def check_float_accumulation(path, stripped_lines, ctx):
 
 
 # ---------------------------------------------------------------------------
+# Check: cross-slice-shared-state
+
+STATIC_DECL_RE = re.compile(r"^\s*(?:inline\s+)?(static|thread_local)\b")
+SYNC_TYPE_RE = re.compile(
+    r"std\s*::\s*(?:atomic(?:_flag)?|mutex|shared_mutex|recursive_mutex"
+    r"|once_flag|condition_variable(?:_any)?)"
+)
+IMMUTABLE_RE = re.compile(r"\b(?:const|constexpr|constinit)\b")
+SLICE_SCOPED_RE = re.compile(r"^src/(?!sys/|smc/)")
+
+
+def check_cross_slice_shared_state(path, stripped_lines, ctx):
+    """Mutable static state in slice-pumped code without a SLICE-SHARED annotation.
+
+    The parallel pump shards channel slices across worker threads, so any
+    mutable state reachable from more than one slice must either be
+    synchronized at a documented rendezvous or be immutable. The token
+    proxy for "reachable from more than one slice" is a `static` or
+    `thread_local` object declaration in src/sys or src/smc (the layers
+    workers execute): a non-const, non-atomic static is visible to every
+    worker at once. Deliberate shared state carries a
+    `// SLICE-SHARED(<barrier>)` annotation on the same or previous line
+    naming the synchronization point that orders access; everything else
+    should become const, atomic, or per-slice.
+    """
+    findings = []
+    if SLICE_SCOPED_RE.match(path):
+        return findings  # src/ layers outside the sliced pump.
+    raw_lines = ctx["raw_by_path"].get(path, [])
+    for i, line in enumerate(stripped_lines, 1):
+        m = STATIC_DECL_RE.match(line)
+        if not m:
+            continue
+        if IMMUTABLE_RE.search(line) or SYNC_TYPE_RE.search(line):
+            continue
+        # A '(' before any '=' means a function declaration/definition,
+        # not an object. (Paren-initialized statics would be skipped too;
+        # this repo brace-initializes, and the annotation is the escape.)
+        if "(" in line.split("=", 1)[0]:
+            continue
+        raw = raw_lines[i - 1] if i - 1 < len(raw_lines) else ""
+        prev = raw_lines[i - 2] if 2 <= i <= len(raw_lines) + 1 else ""
+        if "SLICE-SHARED(" in raw or "SLICE-SHARED(" in prev:
+            continue
+        findings.append(
+            Finding(
+                path,
+                i,
+                "cross-slice-shared-state",
+                f"mutable {m.group(1)} state in slice-pumped code: workers "
+                "pump channel slices concurrently, so non-const non-atomic "
+                "statics race; make it const/atomic/per-slice or annotate "
+                "deliberate sharing with // SLICE-SHARED(<barrier>)",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Optional clang (libclang) engine
 
 
@@ -551,6 +610,7 @@ CHECKS = {
     "banned-entropy": check_banned_entropy,
     "raw-time-units": check_raw_time_units,
     "float-accumulation-order": check_float_accumulation,
+    "cross-slice-shared-state": check_cross_slice_shared_state,
 }
 
 # Checks the clang engine replaces (the rest always run as token checks).
@@ -589,6 +649,9 @@ def run(paths, repo, checks, engine):
     ctx = {
         "repo": repo,
         "unordered_names": collect_unordered_names(stripped_by_file),
+        # Raw (unstripped) lines per relative path, for checks whose
+        # annotations live in comments (SLICE-SHARED).
+        "raw_by_path": {rel_by_file[f]: raw_by_file[f] for f in files},
     }
 
     cindex = try_load_clang() if engine in ("auto", "clang") else None
