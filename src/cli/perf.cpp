@@ -147,6 +147,78 @@ std::int64_t channel_parallel_scaling_run(const PerfOptions& opts) {
   return parallel_scaling_burst(opts, 1);
 }
 
+/// Error-pipeline host overhead: a stride-64 write-then-read burst with
+/// SEC-DED ECC and patrol scrub enabled. The write half exercises the
+/// encoder (check-bit fabrication per line), the read half the decoder and
+/// the CE/UE classification; patrol scrub rides every refresh slot the run
+/// consumes. `detail` re-times the identical burst with the pipeline
+/// disabled (the default-off path every other bench measures) and reports
+/// the relative overhead docs/bench.md tracks.
+std::int64_t ecc_rw_burst(const PerfOptions& opts, bool ecc,
+                          Picoseconds* wall = nullptr) {
+  sys::SystemConfig cfg = harness_config(opts);
+  cfg.ecc.enabled = ecc;
+  cfg.ecc.scrub = ecc;
+  sys::EasyDramSystem sysm(cfg);
+  const std::int64_t n = scaled(opts, 8192);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(static_cast<std::size_t>(2 * n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    ids.push_back(
+        sysm.submit_write(static_cast<std::uint64_t>(i) * 64, 100 + i));
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    ids.push_back(
+        sysm.submit_read(static_cast<std::uint64_t>(i) * 64, 100 + n + i));
+  }
+  for (const std::uint64_t id : ids) sysm.wait(id);
+  if (wall != nullptr) *wall = sysm.wall();
+  return 2 * n;
+}
+
+std::int64_t ecc_scrub_overhead_run(const PerfOptions& opts) {
+  return ecc_rw_burst(opts, /*ecc=*/true);
+}
+
+Json ecc_scrub_overhead_detail(const PerfOptions& opts) {
+  Json d = Json::object();
+  d["requests"] = 2 * scaled(opts, 8192);
+  double ecc_best = 0.0;
+  double base_best = 0.0;
+  for (const bool ecc : {true, false}) {
+    Json secs = Json::array();
+    double best = 0.0;
+    for (int rep = 0; rep < opts.reps; ++rep) {
+      const double t0 = now_seconds();
+      ecc_rw_burst(opts, ecc);
+      const double dt = now_seconds() - t0;
+      secs.push_back(dt);
+      if (best == 0.0 || dt < best) best = dt;
+    }
+    d[ecc ? "ecc_host_seconds_per_rep" : "baseline_host_seconds_per_rep"] =
+        std::move(secs);
+    d[ecc ? "ecc_host_seconds_best" : "baseline_host_seconds_best"] = best;
+    (ecc ? ecc_best : base_best) = best;
+  }
+  d["overhead_percent"] =
+      base_best > 0.0 ? (ecc_best - base_best) / base_best * 100.0 : 0.0;
+  // Modeled (emulated-time) cost of the pipeline — deterministic, unlike
+  // the host timings: the extra emulated cycles ECC charges and scrub
+  // slots add to the same burst.
+  Picoseconds ecc_wall{};
+  Picoseconds base_wall{};
+  ecc_rw_burst(opts, /*ecc=*/true, &ecc_wall);
+  ecc_rw_burst(opts, /*ecc=*/false, &base_wall);
+  d["ecc_emulated_ps"] = ecc_wall.count;
+  d["baseline_emulated_ps"] = base_wall.count;
+  d["emulated_overhead_percent"] =
+      base_wall.count > 0
+          ? static_cast<double>(ecc_wall.count - base_wall.count) /
+                static_cast<double>(base_wall.count) * 100.0
+          : 0.0;
+  return d;
+}
+
 /// Worker-count sweep for the scaling bench. The headline timing fields
 /// cover the 1-worker run (comparable to every other bench); this payload
 /// adds the 1/2/4/8-worker sweep with speedup-vs-1 plus the host metadata
@@ -210,6 +282,9 @@ constexpr PerfBench kBenches[] = {
     {"channel_parallel_scaling",
      "8-channel interleaved burst at 1/2/4/8 channel-pump workers",
      &channel_parallel_scaling_run, &channel_parallel_scaling_detail},
+    {"ecc_scrub_overhead",
+     "Write+read burst with SEC-DED ECC and patrol scrub vs default-off",
+     &ecc_scrub_overhead_run, &ecc_scrub_overhead_detail},
     {"mitigation_overhead",
      "Full mitigation_overhead scenario (hammer + blend under PARA/Graphene)",
      &mitigation_overhead_bench},

@@ -24,6 +24,7 @@ void register_validation_scenarios(ScenarioRegistry& r);
 void register_memsys_scenarios(ScenarioRegistry& r);
 void register_rowhammer_scenarios(ScenarioRegistry& r);
 void register_refresh_scenarios(ScenarioRegistry& r);
+void register_faults_scenarios(ScenarioRegistry& r);
 
 std::uint64_t rep_seed(const RunOptions& opts, int rep) {
   EASYDRAM_EXPECTS(rep >= 0);
@@ -56,6 +57,7 @@ ScenarioRegistry::ScenarioRegistry() {
   register_memsys_scenarios(*this);
   register_rowhammer_scenarios(*this);
   register_refresh_scenarios(*this);
+  register_faults_scenarios(*this);
   std::sort(scenarios_.begin(), scenarios_.end(),
             [](const Scenario& a, const Scenario& b) { return a.name < b.name; });
 }

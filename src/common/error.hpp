@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+namespace easydram {
+
+/// Typed failure of a memory request, carried end-to-end from the software
+/// memory controller (tile::Response) through the completion machinery
+/// (sys::CompletionRing) to the core model (cpu::Completion). The error
+/// pipeline's graceful-degradation contract: a request that cannot be
+/// served correctly fails with a typed error — never a silent wrong answer.
+enum class RequestError : std::uint8_t {
+  kNone = 0,
+  /// Detected-uncorrectable data error that survived the bounded re-read
+  /// retry budget (a hard fault, or a transient wider than SEC-DED can
+  /// correct on a row whose spare budget is exhausted).
+  kUncorrectable = 1,
+};
+
+}  // namespace easydram

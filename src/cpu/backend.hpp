@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "common/error.hpp"
 #include "common/units.hpp"
 
 namespace easydram::cpu {
@@ -13,7 +14,16 @@ struct Completion {
   std::int64_t release_cycle = 0;
   /// RowClone: whether the in-DRAM operation succeeded (false requests a
   /// CPU fallback). Profiling: whether the reduced access was correct.
+  /// Reads: false iff `error != kNone`.
   bool ok = true;
+  /// Reads: the device's reliability verdict on the returned data; false
+  /// means a reduced-tRCD access undercut the line's minimum and no
+  /// nominal retry replaced the corrupt data.
+  bool data_reliable = true;
+  /// Typed failure of the request (common/error.hpp): graceful
+  /// degradation — an uncorrectable data error fails the request visibly
+  /// instead of returning a silent wrong answer.
+  RequestError error = RequestError::kNone;
 };
 
 /// The memory system as seen by the core model. Implemented by the

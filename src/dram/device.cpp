@@ -357,6 +357,11 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
       } else {
         res.data.fill(0);
       }
+      if (fault_model_ != nullptr) {
+        fault_model_->apply_read(
+            fault_context(a.rank, fbank, a.row, a.col, std::max(at, fault_clock_)),
+            res.data);
+      }
 
       b.last_rd = at;
       b.rd_data_end = at + timing_.read_data_latency();
@@ -387,6 +392,10 @@ IssueResult DramDevice::issue(Command c, const DramAddress& a, Picoseconds at,
 
       RowData& rd = row_data(fbank, a.row);
       std::memcpy(rd.data() + a.col * geo_.col_bytes, wdata.data(), 64);
+      if (fault_model_ != nullptr) {
+        fault_model_->on_write(fbank, a.row, a.col,
+                               retention_epoch_of(a.rank, a.row));
+      }
 
       b.last_wr = at;
       b.wr_data_end = at + timing_.write_data_latency();
@@ -473,6 +482,63 @@ std::int64_t DramDevice::commands_issued(Command c) const {
   return cmd_counts_[static_cast<std::size_t>(c)];
 }
 
+void DramDevice::install_fault_model(const FaultConfig& cfg) {
+  fault_model_ = cfg.enabled ? std::make_unique<FaultModel>(geo_, cfg) : nullptr;
+}
+
+std::int64_t DramDevice::retention_epoch_of(std::uint32_t rank,
+                                            std::uint32_t row) const {
+  if (!retention_tracking_) return 0;
+  const std::uint32_t stripe = geo_.refresh_stripe_of_row(row);
+  if (stripe >= geo_.refresh_window_refs) return 0;
+  return stripe_last_ref_slot_[rank * geo_.refresh_window_refs + stripe];
+}
+
+FaultReadContext DramDevice::fault_context(std::uint32_t rank,
+                                           std::uint32_t fbank,
+                                           std::uint32_t row, std::uint32_t col,
+                                           Picoseconds at) const {
+  FaultReadContext ctx;
+  ctx.at = at;
+  ctx.rank = rank;
+  ctx.fbank = fbank;
+  ctx.row = row;
+  ctx.col = col;
+  // Retention ground truth is filled only when both the device tracks
+  // stripes and the model wants it (row_retention is a hashed field — not
+  // free on a hot path that may never read it).
+  if (retention_tracking_ && fault_model_ != nullptr &&
+      fault_model_->config().retention_flips) {
+    ctx.retention_valid = true;
+    ctx.stripe_last_ref_slot = retention_epoch_of(rank, row);
+    ctx.trefi = timing_.tREFI;
+    ctx.row_retention = variation_.row_retention(fbank, row);
+  }
+  return ctx;
+}
+
+void DramDevice::scrub_read(const DramAddress& a, Picoseconds at,
+                            std::span<std::uint8_t> out) {
+  EASYDRAM_EXPECTS(a.rank < ranks_.size() && a.bank < geo_.num_banks() &&
+                   a.row < geo_.rows_per_bank && a.col < geo_.cols_per_row());
+  EASYDRAM_EXPECTS(out.size() == 64);
+  backdoor_read(a, out);
+  const std::uint32_t fbank = flat(a);
+  if (fault_model_ != nullptr) {
+    fault_model_->apply_read(fault_context(a.rank, fbank, a.row, a.col, at), out);
+  }
+}
+
+void DramDevice::scrub_writeback(const DramAddress& a,
+                                 std::span<const std::uint8_t> data) {
+  EASYDRAM_EXPECTS(data.size() == 64);
+  backdoor_write(a, data);
+  if (fault_model_ != nullptr) {
+    fault_model_->on_write(flat(a), a.row, a.col,
+                           retention_epoch_of(a.rank, a.row));
+  }
+}
+
 void DramDevice::set_hammer_tracking(bool on) {
   hammer_tracking_ = on;
   hammer_counts_.assign(on ? geo_.banks_per_channel() : 0, {});
@@ -498,6 +564,7 @@ void DramDevice::note_hammer_act(std::uint32_t fbank, std::uint32_t row) {
   for (std::uint32_t i = 0; i < n.count; ++i) {
     const std::int64_t c = ++counts[n.rows[i]];
     hammer_max_exposure_ = std::max(hammer_max_exposure_, c);
+    if (fault_model_ != nullptr) fault_model_->on_hammer_act(fbank, n.rows[i], c);
   }
 }
 

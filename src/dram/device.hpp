@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "dram/faults.hpp"
 #include "dram/geometry.hpp"
 #include "dram/timing.hpp"
 #include "dram/types.hpp"
@@ -205,6 +206,39 @@ class DramDevice {
   // its first slot. Off by default; like hammer tracking it costs one
   // branch on the REF path when off.
 
+  // --- Fault manifestation -------------------------------------------------
+  //
+  // Optional deterministic fault model (dram/faults.hpp) converting the
+  // ground-truth signals above into per-word bitflips on the read path.
+  // Hammer-triggered flips need hammer tracking on; retention flips need
+  // retention tracking on (they read the stripe bookkeeping). Off by
+  // default: without an installed model the read/write paths are
+  // bit-identical to a device predating the fault pipeline.
+
+  /// Installs (or, with a disabled config, removes) the fault model. The
+  /// caller pre-mixes the channel index into cfg.seed.
+  void install_fault_model(const FaultConfig& cfg);
+  const FaultModel* fault_model() const { return fault_model_.get(); }
+
+  /// Emulated-time reference for fault manifestation. The device's own
+  /// command timeline only advances with DRAM busy time and lags far
+  /// behind emulated time on sparse traffic, but FaultReadContext::at is
+  /// contractually *absolute emulated* time (scheduled transients and
+  /// retention-elapsed checks depend on it) — so the batch driver
+  /// (EasyApi::flush_commands) publishes emulated-now here before every
+  /// batch and read commands stamp faults with max(command time, clock).
+  void set_fault_clock(Picoseconds emulated_now) { fault_clock_ = emulated_now; }
+
+  /// Reads one stored line as the pipeline would see it — sticky fault
+  /// overlay, stuck-at cells, and due transients applied at emulated time
+  /// `at` — without touching any timing state. The patrol scrubber's read
+  /// path. Preconditions: `a` within the geometry, `out` spans 64 bytes.
+  void scrub_read(const DramAddress& a, Picoseconds at,
+                  std::span<std::uint8_t> out);
+  /// Stores corrected data and clears the line's sticky flips (a write
+  /// restores full charge). The patrol scrubber's write-back path.
+  void scrub_writeback(const DramAddress& a, std::span<const std::uint8_t> data);
+
   void set_retention_tracking(bool on);
   bool retention_tracking() const { return retention_tracking_; }
   /// Issued REFs whose stripe gap exceeded the stripe's minimum retention.
@@ -280,6 +314,13 @@ class DramDevice {
   /// Retention accounting hook for one issued REF (tracking must be on).
   void note_retention_refresh(std::uint32_t rank, std::int64_t ref_slot);
 
+  /// Ground-truth context for one fault-model read of (rank, fbank, row).
+  FaultReadContext fault_context(std::uint32_t rank, std::uint32_t fbank,
+                                 std::uint32_t row, std::uint32_t col,
+                                 Picoseconds at) const;
+  /// The row's stripe epoch marker (last-REF slot; 0 when untracked).
+  std::int64_t retention_epoch_of(std::uint32_t rank, std::uint32_t row) const;
+
   Geometry geo_;
   TimingParams timing_;
   VariationModel variation_;
@@ -312,6 +353,10 @@ class DramDevice {
   mutable std::vector<std::int64_t> stripe_min_retention_;
   std::int64_t retention_violations_ = 0;
   Picoseconds retention_overshoot_{};
+
+  // Deterministic fault manifestation (null unless installed).
+  Picoseconds fault_clock_{};
+  std::unique_ptr<FaultModel> fault_model_;
 };
 
 }  // namespace easydram::dram

@@ -1,0 +1,192 @@
+#include "dram/faults.hpp"
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace easydram::dram {
+
+namespace {
+
+// Distinct salts partition the fault namespace out of the scenario seed so
+// no fault stream aliases the variation model, PARA, or each other.
+constexpr std::uint64_t kRetentionSalt = 0xFA01'7E7E'0001ull;
+constexpr std::uint64_t kHammerSalt = 0xFA01'7E7E'0002ull;
+constexpr std::uint64_t kRandomSalt = 0xFA01'7E7E'0003ull;
+
+}  // namespace
+
+FaultModel::FaultModel(const Geometry& geo, const FaultConfig& cfg)
+    : geo_(geo), cfg_(cfg) {
+  for (std::uint32_t i = 0; i < cfg_.plan.stuck.size(); ++i) {
+    const StuckAtFault& f = cfg_.plan.stuck[i];
+    EASYDRAM_EXPECTS(f.fbank < geo_.banks_per_channel() &&
+                     f.row < geo_.rows_per_bank && f.col < geo_.cols_per_row() &&
+                     f.byte_in_line < 64 && f.bit < 8 && f.value <= 1);
+    stuck_by_line_[line_key(f.fbank, f.row, f.col)].push_back(i);
+  }
+  for (std::uint32_t i = 0; i < cfg_.plan.transient.size(); ++i) {
+    const TransientFault& f = cfg_.plan.transient[i];
+    EASYDRAM_EXPECTS(f.fbank < geo_.banks_per_channel() &&
+                     f.row < geo_.rows_per_bank && f.col < geo_.cols_per_row() &&
+                     f.byte_in_line < 64);
+    transient_by_line_[line_key(f.fbank, f.row, f.col)].push_back(i);
+  }
+  transient_consumed_.assign(cfg_.plan.transient.size(), false);
+}
+
+std::uint64_t FaultModel::line_key(std::uint32_t fbank, std::uint32_t row,
+                                   std::uint32_t col) const {
+  return (static_cast<std::uint64_t>(fbank) * geo_.rows_per_bank + row) *
+             geo_.cols_per_row() +
+         col;
+}
+
+void FaultModel::manifest_sticky(std::uint32_t fbank, std::uint32_t row,
+                                 std::uint32_t col, std::uint64_t stream_seed,
+                                 double double_bit_fraction) {
+  const std::uint64_t key = line_key(fbank, row, col);
+  // A line already carrying sticky flips never accumulates more: capped at
+  // a 1-or-2-bit fault per line, SEC-DED always classifies it exactly (no
+  // 3+-bit word can alias a valid codeword into a silent miscorrection).
+  if (overlay_.find(key) != overlay_.end()) return;
+  Xoshiro256ss rng(stream_seed);
+  auto& mask = overlay_[key];
+  mask.fill(0);
+  const std::uint32_t word = static_cast<std::uint32_t>(rng.next_below(8));
+  const std::uint32_t b1 = static_cast<std::uint32_t>(rng.next_below(64));
+  mask[word * 8 + b1 / 8] ^= static_cast<std::uint8_t>(1u << (b1 % 8));
+  if (rng.next_double() < double_bit_fraction) {
+    std::uint32_t b2 = static_cast<std::uint32_t>(rng.next_below(63));
+    if (b2 >= b1) ++b2;  // distinct bit, still uniform
+    mask[word * 8 + b2 / 8] ^= static_cast<std::uint8_t>(1u << (b2 % 8));
+  }
+  ++faults_manifested_;
+}
+
+bool FaultModel::apply_read(const FaultReadContext& ctx,
+                            std::span<std::uint8_t> data) {
+  EASYDRAM_EXPECTS(data.size() == 64);
+  bool altered = false;
+  const std::uint64_t key = line_key(ctx.fbank, ctx.row, ctx.col);
+
+  // Retention trigger: the row's stripe went unrefreshed past this row's
+  // modeled retention — manifest a sticky decay flip, once per line per
+  // refresh epoch (the epoch marker is the stripe's last-REF slot, so a
+  // REF of the stripe re-arms the trigger while the decayed value itself
+  // persists until rewritten).
+  if (cfg_.retention_flips && ctx.retention_valid) {
+    const std::int64_t elapsed =
+        ctx.at.count - ctx.stripe_last_ref_slot * ctx.trefi.count;
+    if (elapsed > ctx.row_retention.count) {
+      auto it = retention_epoch_.find(key);
+      if (it == retention_epoch_.end() ||
+          it->second != ctx.stripe_last_ref_slot) {
+        retention_epoch_[key] = ctx.stripe_last_ref_slot;
+        const std::uint64_t epoch_bits = static_cast<std::uint64_t>(
+            ctx.stripe_last_ref_slot & 0xFFFF'FFFFll);
+        manifest_sticky(
+            ctx.fbank, ctx.row, ctx.col,
+            hash_mix(cfg_.seed ^ kRetentionSalt, ctx.fbank, ctx.row,
+                     (static_cast<std::uint64_t>(ctx.col) << 32) | epoch_bits),
+            cfg_.retention_double_bit_fraction);
+      }
+    }
+  }
+
+  // Sticky overlay (decayed/disturbed charge).
+  if (!overlay_.empty()) {
+    const auto it = overlay_.find(key);
+    if (it != overlay_.end()) {
+      for (std::size_t i = 0; i < 64; ++i) data[i] ^= it->second[i];
+      altered = true;
+    }
+  }
+
+  // Planned stuck-at cells: forced on every read.
+  if (!stuck_by_line_.empty()) {
+    const auto it = stuck_by_line_.find(key);
+    if (it != stuck_by_line_.end()) {
+      for (const std::uint32_t idx : it->second) {
+        const StuckAtFault& f = cfg_.plan.stuck[idx];
+        const std::uint8_t bit = static_cast<std::uint8_t>(1u << f.bit);
+        const std::uint8_t before = data[f.byte_in_line];
+        if (f.value != 0) {
+          data[f.byte_in_line] = static_cast<std::uint8_t>(before | bit);
+        } else {
+          data[f.byte_in_line] = static_cast<std::uint8_t>(before & ~bit);
+        }
+        altered |= data[f.byte_in_line] != before;
+      }
+    }
+  }
+
+  // Planned scheduled transients: one read each, then gone.
+  if (!transient_by_line_.empty()) {
+    const auto it = transient_by_line_.find(key);
+    if (it != transient_by_line_.end()) {
+      for (const std::uint32_t idx : it->second) {
+        const TransientFault& f = cfg_.plan.transient[idx];
+        if (transient_consumed_[idx] || ctx.at < f.at) continue;
+        transient_consumed_[idx] = true;
+        data[f.byte_in_line] ^= f.xor_mask;
+        altered = true;
+      }
+    }
+  }
+
+  // Random transient upsets, keyed by the channel-local read sequence so
+  // the draw order is the emulated command order at any worker count. A
+  // read already altered by sticky/planned faults is exempt — stacking a
+  // random flip onto a faulted word could reach 3 flipped bits, which
+  // SEC-DED may silently miscorrect (see manifest_sticky); each read's
+  // draw has its own stream key, so the exemption shifts no other draw.
+  if (cfg_.transient_read_rate > 0.0) {
+    Xoshiro256ss rng(hash_mix(cfg_.seed ^ kRandomSalt,
+                              static_cast<std::uint64_t>(read_seq_++)));
+    if (!altered && rng.next_double() < cfg_.transient_read_rate) {
+      const std::uint32_t word = static_cast<std::uint32_t>(rng.next_below(8));
+      const std::uint32_t b1 = static_cast<std::uint32_t>(rng.next_below(64));
+      data[word * 8 + b1 / 8] ^= static_cast<std::uint8_t>(1u << (b1 % 8));
+      if (rng.next_double() < cfg_.transient_double_bit_fraction) {
+        std::uint32_t b2 = static_cast<std::uint32_t>(rng.next_below(63));
+        if (b2 >= b1) ++b2;
+        data[word * 8 + b2 / 8] ^= static_cast<std::uint8_t>(1u << (b2 % 8));
+      }
+      altered = true;
+    }
+  }
+
+  if (altered) ++faulty_reads_served_;
+  return altered;
+}
+
+void FaultModel::on_write(std::uint32_t fbank, std::uint32_t row,
+                          std::uint32_t col, std::int64_t epoch) {
+  const std::uint64_t key = line_key(fbank, row, col);
+  overlay_.erase(key);
+  // Fresh charge: suppress retention re-manifestation until the stripe's
+  // next refresh epoch.
+  if (cfg_.retention_flips) retention_epoch_[key] = epoch;
+}
+
+void FaultModel::on_hammer_act(std::uint32_t fbank, std::uint32_t row,
+                               std::int64_t count) {
+  if (cfg_.hammer_flip_threshold <= 0 || count != cfg_.hammer_flip_threshold) {
+    return;
+  }
+  // The victim's disturbance count just crossed the flip threshold: its
+  // weakest cells lose their value. Each crossing (the counter resets when
+  // the row is activated or refreshed) draws a fresh epoch.
+  const std::uint64_t row_key =
+      static_cast<std::uint64_t>(fbank) * geo_.rows_per_bank + row;
+  const std::int64_t epoch = ++hammer_epochs_[row_key];
+  Xoshiro256ss rng(hash_mix(cfg_.seed ^ kHammerSalt, fbank, row,
+                            static_cast<std::uint64_t>(epoch)));
+  for (std::uint32_t i = 0; i < cfg_.hammer_flip_cells; ++i) {
+    const std::uint32_t col =
+        static_cast<std::uint32_t>(rng.next_below(geo_.cols_per_row()));
+    manifest_sticky(fbank, row, col, rng.next(), cfg_.hammer_double_bit_fraction);
+  }
+}
+
+}  // namespace easydram::dram

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/rng.hpp"
+#include "smc/ecc.hpp"
 
 namespace easydram::smc {
 
@@ -144,6 +145,9 @@ void MemoryController::serve_column_batch(EasyApi& api, TableEntry first) {
   if (options_.weak_rows != nullptr) {
     api.charge_overlapped(api.tile().meter().costs().bloom_check);
   }
+  ErrorPolicy* const ep = api.error_policy();
+  const bool ecc_on = ep != nullptr && ep->config().enabled;
+
   const Picoseconds trcd = trcd_for(target, api);
   bool first_access = true;
   for (const TableEntry& e : batch) {
@@ -155,24 +159,130 @@ void MemoryController::serve_column_batch(EasyApi& api, TableEntry first) {
       }
     } else {
       api.write_sequence(e.dram_addr, e.request.wdata);
+      if (ecc_on) {
+        // ECC encode on the write path: the check bits are keyed by the
+        // physical (post-retirement-remap) location the data lands on.
+        const dram::DramAddress& a = e.dram_addr;
+        const std::uint32_t fbank = api.geometry().flat_bank(a.rank, a.bank);
+        api.charge(api.tile().meter().costs().command_push);
+        ep->note_write(fbank, ep->retirement().remap(fbank, a.row), a.col,
+                       e.request.wdata);
+      }
     }
     first_access = false;
   }
   api.flush_commands();
 
+  // Capture this batch's readbacks before the error pipeline runs: a retry
+  // is a fresh flush_commands, which invalidates the readback buffer.
+  rdback_scratch_.clear();
+  for (const TableEntry& e : batch) {
+    if (e.request.kind != tile::RequestKind::kRead) continue;
+    EASYDRAM_ENSURES(!api.rdback_empty());
+    rdback_scratch_.push_back(api.rdback_cacheline());
+  }
+
   // Responses: data for reads (in batch order), acks for writes — posted
   // from the processor's perspective, but the ack lets drains/barriers
   // (and the system engine) observe completion.
+  std::size_t rd = 0;
   for (const TableEntry& e : batch) {
     tile::Response resp;
     resp.id = e.request.id;
     if (e.request.kind == tile::RequestKind::kRead) {
+      bender::ReadbackEntry& rb = rdback_scratch_[rd++];
+      if (ecc_on) {
+        resp.error = serve_read_ecc(api, *ep, e.dram_addr, rb);
+        resp.ok = resp.error == RequestError::kNone;
+      }
       resp.has_data = true;
-      EASYDRAM_ENSURES(!api.rdback_empty());
-      resp.data = api.rdback_cacheline().data;
+      resp.data = rb.data;
+      resp.data_reliable = rb.reliable;
     }
     api.enqueue_response(resp);
   }
+}
+
+RequestError MemoryController::serve_read_ecc(EasyApi& api, ErrorPolicy& ep,
+                                              const dram::DramAddress& addr,
+                                              bender::ReadbackEntry& rb) {
+  ApiStats& stats = api.stats_mutable();
+  const std::uint32_t fbank = api.geometry().flat_bank(addr.rank, addr.bank);
+
+  // CE bookkeeping: count the correction and retire the row once its CE
+  // total crosses the threshold (predictive retirement — get the data out
+  // before the row degrades into a UE).
+  const auto on_corrected = [&](std::uint32_t prow) {
+    ++stats.ecc_corrected;
+    if (ep.note_ce(fbank, prow)) {
+      if (ep.retire_row(addr.rank, addr.bank, prow, api.device_for_setup())) {
+        ++stats.rows_retired;
+      }
+    }
+  };
+
+  // The decode itself: one charge per line, against the physical
+  // (post-remap) location the check bits are keyed by.
+  const auto decode = [&]() {
+    api.charge(api.tile().meter().costs().command_push);
+    const std::uint32_t prow = ep.retirement().remap(fbank, addr.row);
+    const EccStatus st = ep.decode_line(fbank, prow, addr.col, rb.data);
+    if (st == EccStatus::kCorrected) on_corrected(prow);
+    return st;
+  };
+
+  EccStatus st = decode();
+
+  // Bounded re-read: a UE may be a transient upset (clean on retry); an
+  // unreliable read means the reduced-tRCD gamble lost and the nominal
+  // retry fetches trustworthy data. Retries run at nominal timing.
+  for (std::uint32_t attempt = 0;
+       (st == EccStatus::kUncorrectable || !rb.reliable) &&
+       attempt < ep.config().max_retries;
+       ++attempt) {
+    ++stats.retries_issued;
+    api.read_sequence(addr);
+    api.flush_commands();
+    EASYDRAM_ENSURES(!api.rdback_empty());
+    rb = api.rdback_cacheline();
+    st = decode();
+  }
+
+  if (st == EccStatus::kUncorrectable || !rb.reliable) {
+    // Hard fault: the stored data is gone. Retire the row so future
+    // traffic lands on a spare (budget permitting) and fail THIS request
+    // with a typed error — graceful degradation, never a silent wrong
+    // answer.
+    ++stats.ecc_uncorrectable;
+    const std::uint32_t prow = ep.retirement().remap(fbank, addr.row);
+    if (!ep.retirement().budget_exhausted(fbank)) {
+      if (ep.retire_row(addr.rank, addr.bank, prow, api.device_for_setup())) {
+        ++stats.rows_retired;
+      }
+    }
+    return RequestError::kUncorrectable;
+  }
+
+  // Escape verification against the device's stored cells: a read
+  // acknowledged ok whose (post-correction) data diverges from ground
+  // truth is a silent escape — the count the pipeline exists to zero.
+  // Unprotected (never-written) lines carry no check bits, so the pipeline
+  // makes no claim about them; their ground truth is the device's
+  // faulty_reads_served counter, not an ECC escape. Without an installed
+  // fault model no read can ever diverge from the stored bytes, so the
+  // audit (a backdoor line compare per read) is skipped entirely.
+  if (api.device_for_setup().fault_model() != nullptr) {
+    dram::DramAddress pa = addr;
+    pa.row = ep.retirement().remap(fbank, addr.row);
+    if (ep.line_protected(fbank, pa.row, pa.col)) {
+      std::array<std::uint8_t, 64> truth{};
+      api.device_for_setup().backdoor_read(pa, truth);
+      if (std::memcmp(truth.data(), rb.data.data(), 64) != 0) {
+        ++stats.ecc_escaped;
+      }
+    }
+  }
+  return RequestError::kNone;
 }
 
 void MemoryController::serve_rowclone(EasyApi& api, const TableEntry& entry) {

@@ -100,6 +100,15 @@ class MemoryController final : public Controller, public ActSink {
   void serve_rowclone(EasyApi& api, const TableEntry& entry);
   void serve_profile(EasyApi& api, const TableEntry& entry);
 
+  /// Error pipeline for one demand read (api.error_policy() enabled):
+  /// SEC-DED decode + CE bookkeeping, bounded nominal-timing retries for
+  /// UEs and unreliable reads, retirement of hard-faulted rows, and escape
+  /// verification. Mutates `rb` to the data the response should carry;
+  /// returns the typed verdict.
+  RequestError serve_read_ecc(EasyApi& api, ErrorPolicy& ep,
+                              const dram::DramAddress& addr,
+                              bender::ReadbackEntry& rb);
+
   /// Chooses the tRCD for opening the row addressed by `a` per the Bloom
   /// filter (keyed by dram::row_key, so distinct ranks/channels never
   /// alias).
@@ -110,6 +119,9 @@ class MemoryController final : public Controller, public ActSink {
   /// Scratch for serve_column_batch, reused across batches so the hot
   /// path never allocates.
   std::vector<TableEntry> batch_scratch_;
+  /// Readbacks of the current column batch, captured before the error
+  /// pipeline's retry flushes invalidate the api's readback buffer.
+  std::vector<bender::ReadbackEntry> rdback_scratch_;
 
   /// Victim rows the mitigator asked to refresh, pending injection.
   std::vector<dram::DramAddress> pending_victims_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "smc/ecc.hpp"
 #include "smc/refresh_policy.hpp"
 
 namespace easydram::smc {
@@ -159,7 +160,17 @@ void EasyApi::ddr_wait(Picoseconds duration) {
   program_.sleep_at_least(duration, device_->timing().tCK);
 }
 
-void EasyApi::read_sequence(const dram::DramAddress& a) {
+dram::DramAddress EasyApi::remap_retired(const dram::DramAddress& a) const {
+  if (error_policy_ == nullptr) return a;
+  dram::DramAddress r = a;
+  // PPR-style remap: a retired row's traffic lands on its spare. Modeled
+  // at zero marginal cost, like the in-DRAM fuse remap it stands in for.
+  r.row = error_policy_->retirement().remap(flat(a.rank, a.bank), a.row);
+  return r;
+}
+
+void EasyApi::read_sequence(const dram::DramAddress& addr) {
+  const dram::DramAddress a = remap_retired(addr);
   const auto open = effective_open_row(a.bank, a.rank);
   if (!open || *open != a.row) {
     if (open) ddr_precharge(a.bank, a.rank);
@@ -168,7 +179,9 @@ void EasyApi::read_sequence(const dram::DramAddress& a) {
   ddr_read(a, /*capture=*/true);
 }
 
-void EasyApi::read_sequence_reduced(const dram::DramAddress& a, Picoseconds trcd) {
+void EasyApi::read_sequence_reduced(const dram::DramAddress& addr,
+                                    Picoseconds trcd) {
+  const dram::DramAddress a = remap_retired(addr);
   const auto open = effective_open_row(a.bank, a.rank);
   if (open && *open == a.row) {
     // Row already open: tRCD does not apply; a plain read suffices.
@@ -183,8 +196,9 @@ void EasyApi::read_sequence_reduced(const dram::DramAddress& a, Picoseconds trcd
   program_.ddr_exact(dram::Command::kRead, a, trcd, /*capture=*/true);
 }
 
-void EasyApi::write_sequence(const dram::DramAddress& a,
+void EasyApi::write_sequence(const dram::DramAddress& addr,
                              std::span<const std::uint8_t> data) {
+  const dram::DramAddress a = remap_retired(addr);
   const auto open = effective_open_row(a.bank, a.rank);
   if (!open || *open != a.row) {
     if (open) ddr_precharge(a.bank, a.rank);
@@ -223,6 +237,9 @@ bender::ExecutionResult EasyApi::flush_commands(bool charge) {
     // later charged sync.
     tile_->meter().take();
   }
+  // Fault manifestation is keyed to absolute emulated time, which the
+  // device's command timeline does not track (it lags on sparse traffic).
+  device_->set_fault_clock(keeper_->emulated_now());
   bender::ExecutionResult result = interpreter_.execute(program_, device_->now());
   ++stats_.batches_executed;
   stats_.commands_executed += result.commands_issued;
@@ -270,6 +287,10 @@ void EasyApi::refresh_rank_if_due(std::uint32_t rank) {
       // Window-tracking observers (Graphene) still need the slot's tREFI
       // of retention-window time even though no REF issued.
       if (act_sink_ != nullptr) act_sink_->on_refresh_skipped(rank);
+      // Patrol scrub rides the slot whether or not the REF issued — a
+      // skipped stripe is exactly where a misbinned row decays, so scrub
+      // coverage must compose with RAIDR's skipping.
+      scrub_slot(rank, slot, now);
       continue;
     }
     const bool last = slot + 1 == due;
@@ -287,8 +308,21 @@ void EasyApi::refresh_rank_if_due(std::uint32_t rank) {
     flush_commands(/*charge=*/in_flight);
     setup_mode_ = was_setup;
     ++stats_.refreshes_issued;
+    scrub_slot(rank, slot, now);
   }
   EASYDRAM_EXPECTS(!"refresh catch-up failed to converge");
+}
+
+void EasyApi::scrub_slot(std::uint32_t rank, std::int64_t slot, Picoseconds now) {
+  if (error_policy_ == nullptr) return;
+  const std::int64_t before = stats_.scrub_reads;
+  error_policy_->scrub_on_slot(rank, slot, now, *device_, stats_);
+  const std::int64_t scrubbed = stats_.scrub_reads - before;
+  if (scrubbed > 0) {
+    // Scrub reads ride idle refresh-adjacent cycles: programmable-core
+    // time only, never demand-request latency.
+    charge_background(tile_->meter().costs().poll_iteration * scrubbed);
+  }
 }
 
 void EasyApi::refresh_if_due() {

@@ -17,6 +17,7 @@
 namespace easydram::smc {
 
 class RefreshPolicy;
+class ErrorPolicy;
 
 /// Aggregate statistics of one EasyAPI instance.
 struct ApiStats {
@@ -35,6 +36,21 @@ struct ApiStats {
   std::uint32_t violations_seen = 0;
   /// Total DRAM-interface busy time of timeline-charged batches.
   Picoseconds dram_busy{};
+
+  // --- Error pipeline (all zero unless SystemConfig::ecc is enabled) -------
+  /// Corrected single-bit errors (CE), demand reads + patrol scrub.
+  std::int64_t ecc_corrected = 0;
+  /// Detected-uncorrectable errors (UE) after the retry budget.
+  std::int64_t ecc_uncorrectable = 0;
+  /// Lines read by the patrol scrubber.
+  std::int64_t scrub_reads = 0;
+  /// Bounded re-reads issued after a demand UE or an unreliable read.
+  std::int64_t retries_issued = 0;
+  /// Rows retired into the PPR-style spare-row remap.
+  std::int64_t rows_retired = 0;
+  /// Reads acknowledged ok whose data mismatched the device's ground
+  /// truth — the silent-corruption count the pipeline exists to zero.
+  std::int64_t ecc_escaped = 0;
 };
 
 /// Observer of the DDR command stream an EasyApi instance builds. The
@@ -134,6 +150,14 @@ class EasyApi final : public BankStateView {
   /// system layer) must outlive this EasyApi or be cleared first.
   void set_refresh_policy(RefreshPolicy* policy) { refresh_policy_ = policy; }
   RefreshPolicy* refresh_policy() const { return refresh_policy_; }
+
+  /// Installs (or clears) the channel's error policy (smc/ecc.hpp). Two
+  /// effects on this EasyApi: the sequence builders remap retired rows to
+  /// their spares, and refresh_if_due() drives the patrol scrubber once
+  /// per consumed slot (issued or skipped — scrub composes with RAIDR).
+  /// Non-owning, system-owned, must outlive this EasyApi or be cleared.
+  void set_error_policy(ErrorPolicy* policy) { error_policy_ = policy; }
+  ErrorPolicy* error_policy() const { return error_policy_; }
 
   /// Setup mode: API calls cost nothing on any timeline and batches execute
   /// uncharged. Used by offline phases the paper performs before emulation
@@ -239,6 +263,9 @@ class EasyApi final : public BankStateView {
   tile::EasyTile& tile() { return *tile_; }
   /// Running totals since construction (see ApiStats field docs).
   const ApiStats& stats() const { return stats_; }
+  /// Mutable stats access for the controller's error-pipeline counters
+  /// (CE/UE classification and retries happen above this layer).
+  ApiStats& stats_mutable() { return stats_; }
   /// Direct device access for setup phases (characterization fixtures);
   /// demand-path code must go through the batch interface instead.
   dram::DramDevice& device_for_setup() { return *device_; }
@@ -257,6 +284,14 @@ class EasyApi final : public BankStateView {
 
   /// Catch-up/in-flight refresh convergence for one rank.
   void refresh_rank_if_due(std::uint32_t rank);
+
+  /// Retirement remap applied by the high-level sequence builders (identity
+  /// when no error policy is installed).
+  dram::DramAddress remap_retired(const dram::DramAddress& a) const;
+
+  /// Drives the patrol scrubber for one consumed refresh slot and charges
+  /// the background cost of the lines it read.
+  void scrub_slot(std::uint32_t rank, std::int64_t slot, Picoseconds now);
 
   std::uint32_t flat(std::uint32_t rank, std::uint32_t bank) const {
     return device_->geometry().flat_bank(rank, bank);
@@ -288,6 +323,7 @@ class EasyApi final : public BankStateView {
   bool setup_mode_ = false;
   ActSink* act_sink_ = nullptr;
   RefreshPolicy* refresh_policy_ = nullptr;
+  ErrorPolicy* error_policy_ = nullptr;
   ApiStats stats_;
 };
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/error.hpp"
 
 namespace easydram::sys {
 
@@ -56,8 +57,10 @@ class CompletionRing {
   }
 
   /// Records the completion of `id`. Ids at or above the base may arrive
-  /// in any order; each id completes exactly once.
-  void put(std::uint64_t id, std::int64_t release_proc_cycle, bool ok) {
+  /// in any order; each id completes exactly once. `error` and
+  /// `data_reliable` carry the error pipeline's typed verdict.
+  void put(std::uint64_t id, std::int64_t release_proc_cycle, bool ok,
+           RequestError error = RequestError::kNone, bool data_reliable = true) {
     EASYDRAM_EXPECTS(id >= base_id_);
     const std::uint64_t off = id - base_id_;
     if (off >= slots_.size()) grow(off + 1);
@@ -66,6 +69,8 @@ class CompletionRing {
     EASYDRAM_EXPECTS(s.state == State::kEmpty || s.state == State::kPending);
     s.release_proc_cycle = release_proc_cycle;
     s.ok = ok;
+    s.error = error;
+    s.data_reliable = data_reliable;
     s.state = State::kReady;
   }
 
@@ -77,6 +82,18 @@ class CompletionRing {
   bool ok(std::uint64_t id) const {
     EASYDRAM_EXPECTS(ready(id));
     return slot(id).ok;
+  }
+
+  /// Typed failure recorded for `id` (kNone for successful completions).
+  RequestError error(std::uint64_t id) const {
+    EASYDRAM_EXPECTS(ready(id));
+    return slot(id).error;
+  }
+
+  /// Device reliability verdict recorded for `id`.
+  bool data_reliable(std::uint64_t id) const {
+    EASYDRAM_EXPECTS(ready(id));
+    return slot(id).data_reliable;
   }
 
   /// Consumes `id` (which must be ready) and reclaims the consumed prefix
@@ -115,6 +132,8 @@ class CompletionRing {
     std::uint32_t channel = 0;
     State state = State::kEmpty;
     bool ok = true;
+    bool data_reliable = true;
+    RequestError error = RequestError::kNone;
   };
 
   static constexpr std::size_t kInitialCapacity = 64;

@@ -172,7 +172,8 @@ void EpochScheduler::run_parallel(const PumpPhase& phase, int start) {
   // keeps the walk deterministic anyway.
   for (auto& buffer : drained_) {
     for (const DrainedCompletion& d : buffer) {
-      sys_.completed_.put(d.id, d.release_proc_cycle, d.ok);
+      sys_.completed_.put(d.id, d.release_proc_cycle, d.ok, d.error,
+                          d.data_reliable);
     }
     buffer.clear();
   }
@@ -284,8 +285,8 @@ void EpochScheduler::pump_block(unsigned worker, const PumpPhase& phase) {
         auto& fifo = slice.tile.outgoing();
         while (!fifo.empty()) {
           const tile::Response& resp = fifo.front();
-          drained_[l.ch].push_back(
-              {resp.id, resp.release_proc_cycle, resp.ok});
+          drained_[l.ch].push_back({resp.id, resp.release_proc_cycle, resp.ok,
+                                    resp.data_reliable, resp.error});
           if (phase.goal == PumpGoal::kCompletion && l.ch == phase.channel &&
               resp.id == phase.id) {
             l.saw_completion = true;

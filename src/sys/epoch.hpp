@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace easydram::sys {
 
 class EasyDramSystem;
@@ -84,6 +86,8 @@ class EpochScheduler {
     std::uint64_t id = 0;
     std::int64_t release_proc_cycle = 0;
     bool ok = true;
+    bool data_reliable = true;
+    RequestError error = RequestError::kNone;
   };
 
   /// Cross-worker view of one channel's phase progress. Cache-line sized so

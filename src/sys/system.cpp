@@ -72,11 +72,30 @@ EasyDramSystem::EasyDramSystem(const SystemConfig& cfg)
   channels_.reserve(cfg.geometry.channels);
   mitigators_.reserve(cfg.geometry.channels);
   refresh_policies_.reserve(cfg.geometry.channels);
+  error_policies_.reserve(cfg.geometry.channels);
   for (std::uint32_t ch = 0; ch < cfg.geometry.channels; ++ch) {
     channels_.push_back(std::make_unique<ChannelSlice>(cfg_, *mapper_, ch));
     ChannelSlice& slice = *channels_.back();
     if (cfg_.track_row_hammer) slice.device.set_hammer_tracking(true);
     if (cfg_.track_retention) slice.device.set_retention_tracking(true);
+    if (cfg_.faults.enabled) {
+      // The fault model reads the ground-truth bookkeeping its triggers
+      // need, so those trackers come on with it.
+      if (cfg_.faults.hammer_flip_threshold > 0) {
+        slice.device.set_hammer_tracking(true);
+      }
+      if (cfg_.faults.retention_flips) slice.device.set_retention_tracking(true);
+      dram::FaultConfig f = cfg_.faults;
+      if (ch != 0) f.seed = hash_mix(f.seed, ch);
+      slice.device.install_fault_model(f);
+    }
+    if (cfg_.ecc.enabled) {
+      error_policies_.push_back(
+          std::make_unique<smc::ErrorPolicy>(cfg_.geometry, cfg_.ecc));
+    } else {
+      error_policies_.push_back(nullptr);
+    }
+    slice.api.set_error_policy(error_policies_.back().get());
     mitigators_.push_back(
         smc::mitigation::make_mitigator(cfg_.mitigation, cfg_.geometry, ch));
     // Retention-aware refresh: profile this channel's (independently
@@ -116,6 +135,11 @@ dram::DramDevice& EasyDramSystem::device(std::uint32_t channel) {
   return channels_[channel]->device;
 }
 
+smc::ErrorPolicy* EasyDramSystem::error_policy(std::uint32_t channel) {
+  EASYDRAM_EXPECTS(channel < error_policies_.size());
+  return error_policies_[channel].get();
+}
+
 const timescale::TimeKeeper& EasyDramSystem::keeper(std::uint32_t channel) const {
   EASYDRAM_EXPECTS(channel < channels_.size());
   return channels_[channel]->keeper;
@@ -141,6 +165,12 @@ smc::ApiStats EasyDramSystem::smc_stats() const {
     total.refreshes_skipped += s.refreshes_skipped;
     total.violations_seen |= s.violations_seen;
     total.dram_busy += s.dram_busy;
+    total.ecc_corrected += s.ecc_corrected;
+    total.ecc_uncorrectable += s.ecc_uncorrectable;
+    total.scrub_reads += s.scrub_reads;
+    total.retries_issued += s.retries_issued;
+    total.rows_retired += s.rows_retired;
+    total.ecc_escaped += s.ecc_escaped;
   }
   return total;
 }
@@ -301,7 +331,8 @@ void EasyDramSystem::drain_outgoing() {
       // The system engine only tracks completion metadata; the 64-byte
       // payload stays in the ring slot and is never copied out.
       const tile::Response& resp = fifo.front();
-      completed_.put(resp.id, resp.release_proc_cycle, resp.ok);
+      completed_.put(resp.id, resp.release_proc_cycle, resp.ok, resp.error,
+                     resp.data_reliable);
       fifo.drop();
     }
   }
@@ -433,7 +464,8 @@ cpu::Completion EasyDramSystem::wait(std::uint64_t id) {
   } else {
     pump_until([this, id] { return completed_.ready(id); });
   }
-  cpu::Completion c{completed_.release_proc_cycle(id), completed_.ok(id)};
+  cpu::Completion c{completed_.release_proc_cycle(id), completed_.ok(id),
+                    completed_.data_reliable(id), completed_.error(id)};
   completed_.consume(id);
   return c;
 }

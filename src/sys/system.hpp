@@ -10,9 +10,11 @@
 #include "cpu/core.hpp"
 #include "cpu/presets.hpp"
 #include "dram/device.hpp"
+#include "dram/faults.hpp"
 #include "smc/bloom.hpp"
 #include "smc/controller.hpp"
 #include "smc/easyapi.hpp"
+#include "smc/ecc.hpp"
 #include "smc/mitigation/mitigator.hpp"
 #include "smc/refresh_policy.hpp"
 #include "smc/retention_profiler.hpp"
@@ -97,6 +99,22 @@ struct SystemConfig {
   /// raidr_misbinning scenario turns it on.
   bool track_retention = false;
 
+  /// Deterministic fault injection (dram/faults.hpp), off by default — a
+  /// system that never touches this runs bit-identical to one predating
+  /// the fault pipeline. Channels get independent fault streams
+  /// (`faults.seed` mixed with the channel index, like the variation and
+  /// mitigation seeds), so injection is worker-count-invariant. Enabling
+  /// hammer-triggered flips auto-enables hammer tracking; retention flips
+  /// auto-enable retention tracking (the model reads their bookkeeping).
+  dram::FaultConfig faults{};
+
+  /// Controller error pipeline (smc/ecc.hpp): SEC-DED on the read/write
+  /// path, patrol scrub piggybacked on refresh slots, bounded retries, and
+  /// PPR-style row retirement. Off by default; independent of `faults`
+  /// (ECC can run on a fault-free device and vice versa — escapes are only
+  /// *interesting* with both on).
+  smc::EccConfig ecc{};
+
   /// Worker threads pumping the channel slices (clamped to the channel
   /// count; 0 and 1 both mean the serial engine). Any value produces
   /// bit-identical observable state — the epoch scheduler reproduces the
@@ -152,6 +170,10 @@ class EasyDramSystem final : public cpu::MemoryBackend {
 
   smc::EasyApi& api(std::uint32_t channel);
   dram::DramDevice& device(std::uint32_t channel);
+
+  /// Channel's error-pipeline state (null unless `ecc.enabled`). Exposed
+  /// for tests and scenario instrumentation (retirement-map inspection).
+  smc::ErrorPolicy* error_policy(std::uint32_t channel);
 
   smc::RowCloneMap& clone_map() { return clone_map_; }
   const SystemConfig& config() const { return cfg_; }
@@ -283,6 +305,10 @@ class EasyDramSystem final : public cpu::MemoryBackend {
   /// for the same rebuild-survival reason as the mitigators; installed on
   /// each channel's EasyApi at construction.
   std::vector<std::unique_ptr<smc::RefreshPolicy>> refresh_policies_;
+  /// Per-channel error policies (entries null unless cfg.ecc.enabled).
+  /// Owned here — check-bit store, CE counts, and retirement maps must
+  /// survive controller rebuilds, like the mitigators.
+  std::vector<std::unique_ptr<smc::ErrorPolicy>> error_policies_;
   /// Bin histograms recorded when construction profiled each channel
   /// (empty for kAllRows).
   std::vector<smc::RaidrBinStats> refresh_bin_stats_;

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/error.hpp"
 #include "common/units.hpp"
 
 namespace easydram::tile {
@@ -43,7 +44,15 @@ struct Response {
   bool has_data = false;
   /// kRowClone: the in-DRAM copy failed and the processor must fall back to
   /// CPU load/store copy. kProfileTrcd: the tested line read correctly.
+  /// kRead: false iff `error != kNone`.
   bool ok = true;
+  /// kRead: the device's reliability verdict on `data` (false when a
+  /// reduced-tRCD access undercut the line's minimum and no nominal retry
+  /// replaced the corrupt data). Propagated so an unreliable read is never
+  /// silently reported clean.
+  bool data_reliable = true;
+  /// Typed failure (graceful degradation; see common/error.hpp).
+  RequestError error = RequestError::kNone;
   /// Time-scaling release tag: the processor may not consume this response
   /// before its cycle counter reaches this value (Fig. 5 step 10).
   std::int64_t release_proc_cycle = 0;

@@ -1,0 +1,48 @@
+// easydram-lint fixture: fault-injection-seeding.
+// Expected findings in this file: 2 (literal-seeded Xoshiro, counter-seeded
+// SplitMix). The hash_mix-derived, seed-named, and suppressed constructions
+// must stay clean. The file's name keeps it inside the check's fault-pipeline
+// scope (paths under src/ outside dram/faults.* / smc/ecc.* are exempt).
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Xoshiro256ss {
+  explicit Xoshiro256ss(std::uint64_t seed) { (void)seed; }
+  std::uint64_t next() { return 4; }
+};
+struct SplitMix64 {
+  explicit SplitMix64(std::uint64_t seed) { (void)seed; }
+  std::uint64_t next() { return 4; }
+};
+
+inline std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b) {
+  return a * 0x9E3779B97F4A7C15ull ^ b;
+}
+
+inline std::uint64_t positive_literal_seeded() {
+  Xoshiro256ss rng(0xDEADBEEF);  // Forks the stream from the scenario seed.
+  return rng.next();
+}
+
+inline std::uint64_t positive_counter_seeded(std::uint64_t read_seq) {
+  return SplitMix64(read_seq).next();  // Host-order counter, not a seed.
+}
+
+inline std::uint64_t clean_hash_mixed(std::uint64_t seed, std::uint64_t salt) {
+  Xoshiro256ss rng(hash_mix(seed, salt));
+  return rng.next();
+}
+
+inline std::uint64_t clean_derived_seed(std::uint64_t stream_seed) {
+  Xoshiro256ss rng(stream_seed);  // Derived keys route through *seed* names.
+  return rng.next();
+}
+
+inline std::uint64_t quieted(std::uint64_t raw) {
+  return SplitMix64(raw).next();  // NOLINT-easydram(fault-injection-seeding):
+                                  // fixture exercises the suppression path.
+}
+
+}  // namespace fixture

@@ -29,6 +29,7 @@ EXPECTED = {
     "banned-entropy": 3,
     "raw-time-units": 5,
     "float-accumulation-order": 2,
+    "fault-injection-seeding": 2,
     "cross-slice-shared-state": 2,
 }
 

@@ -44,6 +44,8 @@ constexpr GoldenEntry kGolden[] = {
     {"ablation_rowclone_interleaving", 0xDDF09E5AFE864175ull},
     {"ablation_scheduler", 0x02ED3E8BFA40DBE3ull},
     {"channel_scaling", 0xC91348487B0729C2ull},
+    {"ecc_vs_hammer", 0x22933A1122B58EAEull},
+    {"fault_sweep", 0xAFBC440AD7F11E97ull},
     {"fig10_rowclone_noflush", 0x90B9DA5F28F443FFull},
     {"fig11_rowclone_clflush", 0x589F05103398A380ull},
     {"fig12_trcd_heatmap", 0x006FB08859876E4Full},
@@ -60,6 +62,7 @@ constexpr GoldenEntry kGolden[] = {
     {"rowhammer_baseline", 0x26297656C3C21DA7ull},
     {"rowhammer_graphene", 0x58C1ADC7E933FD8Cull},
     {"rowhammer_para", 0x97C61FB1735CA39Aull},
+    {"scrub_raidr", 0xD4EAED7D14A4DB4Eull},
     {"table1_platforms", 0x0F61635A17B1D40Cull},
     {"validation_timescale", 0x76793482AB8533D5ull},
 };

@@ -296,5 +296,81 @@ TEST(CompletionRingTest, DoublePutRejected) {
   EXPECT_THROW(ring.put(1, 0, true), ContractViolation);
 }
 
+// --------------------------------------------------------------------------
+// CompletionRing error paths (the graceful-degradation contract: typed
+// failures travel the same ring as successes, never a silent wrong answer)
+// --------------------------------------------------------------------------
+
+TEST(CompletionRingTest, TypedFailuresSurviveTheRing) {
+  sys::CompletionRing ring;
+  ring.put(1, 10, true);
+  ring.put(2, 20, false, RequestError::kUncorrectable);
+  ring.put(3, 30, true, RequestError::kNone, /*data_reliable=*/false);
+
+  EXPECT_TRUE(ring.ok(1));
+  EXPECT_EQ(ring.error(1), RequestError::kNone);
+  EXPECT_TRUE(ring.data_reliable(1));
+
+  EXPECT_FALSE(ring.ok(2));
+  EXPECT_EQ(ring.error(2), RequestError::kUncorrectable);
+
+  EXPECT_TRUE(ring.ok(3));
+  EXPECT_FALSE(ring.data_reliable(3));
+
+  for (std::uint64_t id = 1; id <= 3; ++id) ring.consume(id);
+  EXPECT_EQ(ring.window(), 0u);
+}
+
+TEST(CompletionRingTest, RetriedCompletionArrivesOutOfOrder) {
+  // A retried UE read completes after younger requests that were served
+  // while its re-reads ran: the failing id's slot must keep its typed
+  // verdict while the younger ids come and go around it.
+  sys::CompletionRing ring;
+  for (std::uint64_t id = 1; id <= 4; ++id) ring.note_pending(id, 0);
+  ring.put(2, 20, true);
+  ring.put(3, 30, true);
+  ring.put(4, 45, false, RequestError::kUncorrectable);
+  EXPECT_FALSE(ring.ready(1));
+  EXPECT_TRUE(ring.pending(1));
+  ring.consume(3);  // Out-of-order consume leaves a hole at 3.
+  ring.put(1, 90, false, RequestError::kUncorrectable);  // Retries exhausted.
+
+  EXPECT_EQ(ring.error(1), RequestError::kUncorrectable);
+  EXPECT_EQ(ring.release_proc_cycle(1), 90);
+  EXPECT_EQ(ring.error(4), RequestError::kUncorrectable);
+  ring.consume(1);
+  ring.consume(2);
+  ring.consume(4);
+  EXPECT_EQ(ring.window(), 0u);
+}
+
+TEST(CompletionRingTest, WrapAroundPreservesMixedVerdicts) {
+  // Churn the window past the initial capacity with a deterministic mix of
+  // ok / typed-failure / unreliable completions and check every verdict
+  // survives growth and head wraparound bit-exactly.
+  sys::CompletionRing ring;
+  std::uint64_t next_put = 1;
+  std::uint64_t next_take = 1;
+  SplitMix64 rng(0xECC5EED);
+  const auto expected_error = [](std::uint64_t id) {
+    return id % 5 == 0 ? RequestError::kUncorrectable : RequestError::kNone;
+  };
+  for (int step = 0; step < 5000; ++step) {
+    if (next_take == next_put || rng.next() % 2 == 0) {
+      const std::uint64_t id = next_put++;
+      ring.put(id, static_cast<std::int64_t>(id), expected_error(id) ==
+                                                      RequestError::kNone,
+               expected_error(id), /*data_reliable=*/id % 3 != 0);
+    } else {
+      const std::uint64_t id = next_take++;
+      ASSERT_TRUE(ring.ready(id));
+      EXPECT_EQ(ring.error(id), expected_error(id)) << id;
+      EXPECT_EQ(ring.ok(id), expected_error(id) == RequestError::kNone) << id;
+      EXPECT_EQ(ring.data_reliable(id), id % 3 != 0) << id;
+      ring.consume(id);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace easydram

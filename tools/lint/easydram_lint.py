@@ -459,6 +459,53 @@ def check_float_accumulation(path, stripped_lines, ctx):
 
 
 # ---------------------------------------------------------------------------
+# Check: fault-injection-seeding
+
+RNG_CONSTRUCT_RE = re.compile(
+    r"\b(Xoshiro256ss|SplitMix64)\s*(?:[A-Za-z_]\w*\s*)?\(([^)]*)"
+)
+SEED_SOURCE_RE = re.compile(r"seed|hash_mix", re.IGNORECASE)
+# Files under src/ outside the fault pipeline are exempt; everything else
+# (the pipeline files themselves, and fixture/test paths) is in scope —
+# the same scoping trick cross-slice-shared-state uses.
+FAULT_PIPELINE_EXEMPT_RE = re.compile(r"^src/(?!dram/faults\.|smc/ecc\.)")
+
+
+def check_fault_injection_seeding(path, stripped_lines, ctx):
+    """RNG constructions in the fault pipeline not derived from the scenario seed.
+
+    Fault manifestation must replay bit-identically at any --threads /
+    --pump-workers value, which holds only when every draw in
+    src/dram/faults.* and src/smc/ecc.* is keyed from FaultConfig::seed
+    through hash_mix with distinct salts. An RNG seeded from anything
+    else — a literal, an address, a host counter — silently forks the
+    fault stream away from the scenario seed, and the divergence only
+    surfaces as a golden-hash mismatch much later. The token engine
+    requires a `seed`/`hash_mix` reference on the construction line
+    itself; route derived keys through identifiers named `*seed*`.
+    """
+    findings = []
+    if FAULT_PIPELINE_EXEMPT_RE.match(path):
+        return findings
+    for i, line in enumerate(stripped_lines, 1):
+        for m in RNG_CONSTRUCT_RE.finditer(line):
+            if SEED_SOURCE_RE.search(m.group(2) or ""):
+                continue
+            findings.append(
+                Finding(
+                    path,
+                    i,
+                    "fault-injection-seeding",
+                    f"{m.group(1)} constructed without a scenario-seed "
+                    "derivation: fault-pipeline draws must be keyed from "
+                    "FaultConfig::seed via hash_mix (distinct salts) so "
+                    "injection replays at any worker count",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Check: cross-slice-shared-state
 
 STATIC_DECL_RE = re.compile(r"^\s*(?:inline\s+)?(static|thread_local)\b")
@@ -610,6 +657,7 @@ CHECKS = {
     "banned-entropy": check_banned_entropy,
     "raw-time-units": check_raw_time_units,
     "float-accumulation-order": check_float_accumulation,
+    "fault-injection-seeding": check_fault_injection_seeding,
     "cross-slice-shared-state": check_cross_slice_shared_state,
 }
 
