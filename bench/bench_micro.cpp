@@ -89,7 +89,7 @@ void BM_FrfcfsPick(benchmark::State& state) {
   smc::FrfcfsScheduler sched;
   std::size_t scanned = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sched.pick(table, banks, scanned));
+    benchmark::DoNotOptimize(sched.pick({table, banks}, scanned));
   }
 }
 BENCHMARK(BM_FrfcfsPick);

@@ -17,14 +17,17 @@ namespace {
 /// open rows (plain FCFS written as a user extension).
 class StrictArrivalOrder final : public smc::Scheduler {
  public:
-  std::optional<std::size_t> pick(const smc::RequestTable& table,
-                                  const smc::BankStateView& /*banks*/,
+  std::optional<std::size_t> pick(const smc::PickContext& ctx,
                                   std::size_t& scanned) override {
+    const smc::RequestTable& table = ctx.table;
     scanned = table.size();
-    if (table.empty()) return std::nullopt;
-    std::size_t oldest = 0;
-    for (std::size_t i = 1; i < table.size(); ++i) {
-      if (table.at(i).arrival_seq < table.at(oldest).arrival_seq) oldest = i;
+    std::optional<std::size_t> oldest;
+    for (std::size_t slot = table.first(); slot != smc::RequestTable::kNull;
+         slot = table.next(slot)) {
+      if (!oldest.has_value() ||
+          table.at(slot).arrival_seq < table.at(*oldest).arrival_seq) {
+        oldest = slot;
+      }
     }
     return oldest;
   }

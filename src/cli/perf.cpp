@@ -219,6 +219,66 @@ Json ecc_scrub_overhead_detail(const PerfOptions& opts) {
   return d;
 }
 
+/// QoS-scheduler host overhead: the same 4-stream tagged read burst driven
+/// through each scheduling policy. Stream-aware policies walk the request
+/// table with per-stream bookkeeping (blacklists, service ranks, cluster
+/// windows) on every pick, and per-stream latency tracking is on — this
+/// bench prices that host-side cost against the stock FR-FCFS pick loop.
+std::int64_t qos_sched_burst(const PerfOptions& opts,
+                             smc::SchedulerKind kind) {
+  sys::SystemConfig cfg = harness_config(opts);
+  cfg.sched = kind;
+  cfg.track_stream_latency = true;
+  sys::EasyDramSystem sysm(cfg);
+  const std::int64_t n = scaled(opts, 16384);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    sysm.set_stream(static_cast<std::uint32_t>(i % 4));
+    ids.push_back(
+        sysm.submit_read(static_cast<std::uint64_t>(i) * 64, 100 + i));
+  }
+  for (const std::uint64_t id : ids) sysm.wait(id);
+  return n;
+}
+
+std::int64_t qos_scheduler_overhead_run(const PerfOptions& opts) {
+  // Headline timing: TCM, the policy with the most per-pick bookkeeping.
+  return qos_sched_burst(opts, smc::SchedulerKind::kTcm);
+}
+
+Json qos_scheduler_overhead_detail(const PerfOptions& opts) {
+  Json d = Json::object();
+  d["requests"] = scaled(opts, 16384);
+  d["streams"] = 4;
+  double frfcfs_best = 0.0;
+  Json points = Json::array();
+  for (const smc::SchedulerKind kind :
+       {smc::SchedulerKind::kFrfcfs, smc::SchedulerKind::kParbs,
+        smc::SchedulerKind::kBliss, smc::SchedulerKind::kAtlas,
+        smc::SchedulerKind::kTcm}) {
+    Json secs = Json::array();
+    double best = 0.0;
+    for (int rep = 0; rep < opts.reps; ++rep) {
+      const double t0 = now_seconds();
+      qos_sched_burst(opts, kind);
+      const double dt = now_seconds() - t0;
+      secs.push_back(dt);
+      if (best == 0.0 || dt < best) best = dt;
+    }
+    if (kind == smc::SchedulerKind::kFrfcfs) frfcfs_best = best;
+    Json p = Json::object();
+    p["sched"] = smc::to_string(kind);
+    p["host_seconds_per_rep"] = std::move(secs);
+    p["host_seconds_best"] = best;
+    p["overhead_vs_frfcfs_percent"] =
+        frfcfs_best > 0.0 ? (best - frfcfs_best) / frfcfs_best * 100.0 : 0.0;
+    points.push_back(std::move(p));
+  }
+  d["points"] = std::move(points);
+  return d;
+}
+
 /// Worker-count sweep for the scaling bench. The headline timing fields
 /// cover the 1-worker run (comparable to every other bench); this payload
 /// adds the 1/2/4/8-worker sweep with speedup-vs-1 plus the host metadata
@@ -291,6 +351,9 @@ constexpr PerfBench kBenches[] = {
     {"raidr_refresh",
      "Full raidr_baseline scenario (REF savings of retention-aware refresh)",
      &raidr_refresh_bench},
+    {"qos_scheduler_overhead",
+     "4-stream tagged read burst under each QoS policy vs FR-FCFS",
+     &qos_scheduler_overhead_run, &qos_scheduler_overhead_detail},
 };
 
 double now_seconds() {

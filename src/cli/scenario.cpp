@@ -25,6 +25,7 @@ void register_memsys_scenarios(ScenarioRegistry& r);
 void register_rowhammer_scenarios(ScenarioRegistry& r);
 void register_refresh_scenarios(ScenarioRegistry& r);
 void register_faults_scenarios(ScenarioRegistry& r);
+void register_qos_scenarios(ScenarioRegistry& r);
 
 std::uint64_t rep_seed(const RunOptions& opts, int rep) {
   EASYDRAM_EXPECTS(rep >= 0);
@@ -58,6 +59,7 @@ ScenarioRegistry::ScenarioRegistry() {
   register_rowhammer_scenarios(*this);
   register_refresh_scenarios(*this);
   register_faults_scenarios(*this);
+  register_qos_scenarios(*this);
   std::sort(scenarios_.begin(), scenarios_.end(),
             [](const Scenario& a, const Scenario& b) { return a.name < b.name; });
 }
@@ -86,6 +88,9 @@ Json run_scenario(const Scenario& s, const RunOptions& opts) {
   j["channels"] = static_cast<std::int64_t>(opts.channels);
   j["ranks"] = static_cast<std::int64_t>(opts.ranks);
   j["mapping"] = smc::to_string(opts.mapping);
+  // Only when forced: the key's absence keeps pre---sched run documents
+  // (and their golden hashes) byte-identical.
+  if (opts.sched.has_value()) j["sched"] = smc::to_string(*opts.sched);
   j["results"] = s.run(opts);
   return j;
 }
@@ -177,8 +182,22 @@ ParsedArgs parse_args(int argc, char** argv) {
     } else if (arg == "--mapping") {
       if (const char* v = value()) {
         const auto kind = smc::parse_mapping(v);
-        if (!kind) a.error = "bad --mapping value (linear | line | channel)";
-        else a.opts.mapping = *kind;
+        if (!kind) {
+          a.error = "bad --mapping value (linear | line | channel | bankpart)";
+        } else {
+          a.opts.mapping = *kind;
+        }
+      }
+    } else if (arg == "--sched") {
+      if (const char* v = value()) {
+        const auto kind = smc::parse_scheduler(v);
+        if (!kind) {
+          a.error =
+              "bad --sched value (auto | fcfs | frfcfs | parbs | bliss | "
+              "atlas | tcm)";
+        } else {
+          a.opts.sched = *kind;
+        }
       }
     } else if (arg == "--perf") {
       a.perf = true;
@@ -210,7 +229,8 @@ void print_usage(std::ostream& os, const char* prog) {
   os << "Usage: " << prog
      << " [--scenario NAME]... [--list] [--seed N] [--iters N]\n"
         "       [--threads N] [--pump-workers N] [--channels N] [--ranks N]\n"
-        "       [--mapping KIND] [--perf] [--perf-reps N] [--perf-scale X]\n"
+        "       [--mapping KIND] [--sched POLICY] [--perf] [--perf-reps N]\n"
+        "       [--perf-scale X]\n"
         "       [--out results.json] [--quiet] [--help]\n\n"
         "Runs EasyDRAM experiment scenarios (paper figure/table reproducers\n"
         "and ablations) and emits machine-readable JSON summaries.\n\n"
@@ -225,7 +245,12 @@ void print_usage(std::ostream& os, const char* prog) {
         "                   are bit-identical at any worker count)\n"
         "  --channels N     memory channels (memory-system scenarios)\n"
         "  --ranks N        ranks per channel (memory-system scenarios)\n"
-        "  --mapping KIND   address mapping: linear | line | channel\n"
+        "  --mapping KIND   address mapping: linear | line | channel |\n"
+        "                   bankpart (static per-tenant bank partitions)\n"
+        "  --sched POLICY   force a scheduling policy: auto | fcfs | frfcfs\n"
+        "                   | parbs | bliss | atlas | tcm (default: each\n"
+        "                   scenario's validated policy; qos_* scenarios\n"
+        "                   restrict their policy sweep to POLICY)\n"
         "  --perf           run the host-performance harness instead\n"
         "  --perf-reps N    timed repetitions per perf bench (default 3)\n"
         "  --perf-scale X   multiplier on the micro benches' iteration\n"

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -8,6 +9,7 @@
 
 #include "cli/json.hpp"
 #include "smc/addr_map.hpp"
+#include "smc/scheduler.hpp"
 
 namespace easydram::cli {
 
@@ -33,6 +35,13 @@ struct RunOptions {
   std::uint32_t channels = 1;
   std::uint32_t ranks = 1;
   smc::MappingKind mapping = smc::MappingKind::kLinear;
+
+  /// Forced scheduling policy (--sched). Unset by default: scenarios keep
+  /// their validated per-experiment policies and the envelope omits the
+  /// key, so every pre-existing golden output is unchanged. When set, the
+  /// qos_* scenarios restrict their policy sweeps to this policy and other
+  /// scenarios that build stock systems honor it via SystemConfig::sched.
+  std::optional<smc::SchedulerKind> sched;
 };
 
 /// Deterministic per-repetition seed stream. Repetition 0 keeps the

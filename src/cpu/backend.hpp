@@ -24,6 +24,10 @@ struct Completion {
   /// degradation — an uncorrectable data error fails the request visibly
   /// instead of returning a silent wrong answer.
   RequestError error = RequestError::kNone;
+  /// Stream identity of the originating request (0 for single-stream
+  /// traffic), round-tripped through the whole request path. Last member
+  /// so pre-stream aggregate initializers keep their meaning.
+  std::uint32_t stream = 0;
 };
 
 /// The memory system as seen by the core model. Implemented by the
@@ -36,6 +40,13 @@ struct Completion {
 class MemoryBackend {
  public:
   virtual ~MemoryBackend() = default;
+
+  /// Sets the stream identity stamped onto subsequently submitted requests.
+  /// Sticky until the next call; backends without per-stream accounting keep
+  /// the default no-op. The core calls this when the trace's stream changes,
+  /// so cache writebacks are attributed to the stream whose access evicted
+  /// the line.
+  virtual void set_stream(std::uint32_t /*stream*/) {}
 
   virtual std::uint64_t submit_read(std::uint64_t paddr, std::int64_t now) = 0;
   virtual std::uint64_t submit_write(std::uint64_t paddr, std::int64_t now) = 0;

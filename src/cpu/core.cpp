@@ -85,7 +85,16 @@ RunResult Core::run(TraceSource& trace, MemoryBackend& mem) {
 
   TraceRecord rec;
   bool last_rowclone_ok = true;
+  std::uint32_t current_stream = 0;
+  mem.set_stream(current_stream);
   while (trace.next(rec, last_rowclone_ok)) {
+    // Stream identity is sticky on the backend: every request this record
+    // causes — including writebacks of lines another stream dirtied — is
+    // attributed to the stream whose access is executing now.
+    if (rec.stream != current_stream) {
+      current_stream = rec.stream;
+      mem.set_stream(current_stream);
+    }
     advance_for_instructions(rec.gap_instructions + 1);
     const std::uint64_t line = rec.addr & ~std::uint64_t{63};
 

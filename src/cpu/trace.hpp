@@ -33,6 +33,10 @@ struct TraceRecord {
   std::uint64_t addr = 0;
   std::uint64_t addr2 = 0;           ///< kRowClone destination.
   Picoseconds profile_trcd{};        ///< kProfile only.
+  /// Traffic-stream identity for multi-tenant traces. The core forwards it
+  /// to the memory backend so every memory request it causes (including
+  /// cache writebacks, attributed to the evicting stream) carries it.
+  std::uint32_t stream = 0;
 };
 
 /// Pull-based trace generator. `last_rowclone_ok` feeds back the outcome of

@@ -81,11 +81,51 @@ std::uint64_t ChannelInterleavedMapper::to_physical(const dram::DramAddress& a) 
   return (upper * geo_.channels + a.channel) * geo_.col_bytes;
 }
 
+BankPartitionMapper::BankPartitionMapper(const dram::Geometry& geo,
+                                         unsigned partitions)
+    : geo_(geo), partitions_(partitions) {
+  EASYDRAM_EXPECTS(partitions >= 1);
+  EASYDRAM_EXPECTS(geo.num_banks() % partitions == 0);
+  banks_per_partition_ = geo.num_banks() / partitions;
+  partition_bytes_ = geo.capacity_bytes() / partitions;
+}
+
+dram::DramAddress BankPartitionMapper::to_dram(std::uint64_t paddr) const {
+  EASYDRAM_EXPECTS(paddr % 64 == 0);
+  EASYDRAM_EXPECTS(paddr < geo_.capacity_bytes());
+  const std::uint64_t partition = paddr / partition_bytes_;
+  const std::uint64_t line = (paddr % partition_bytes_) / geo_.col_bytes;
+  dram::DramAddress a;
+  a.bank = static_cast<std::uint32_t>(partition * banks_per_partition_ +
+                                      line % banks_per_partition_);
+  std::uint64_t upper = line / banks_per_partition_;
+  a.rank = static_cast<std::uint32_t>(upper % geo_.ranks_per_channel);
+  upper /= geo_.ranks_per_channel;
+  a.col = static_cast<std::uint32_t>(upper % geo_.cols_per_row());
+  upper /= geo_.cols_per_row();
+  a.row = static_cast<std::uint32_t>(upper % geo_.rows_per_bank);
+  a.channel = static_cast<std::uint32_t>(upper / geo_.rows_per_bank);
+  return a;
+}
+
+std::uint64_t BankPartitionMapper::to_physical(const dram::DramAddress& a) const {
+  EASYDRAM_EXPECTS(geo_.contains(a));
+  const std::uint64_t partition = a.bank / banks_per_partition_;
+  const std::uint64_t bank_in = a.bank % banks_per_partition_;
+  std::uint64_t upper =
+      static_cast<std::uint64_t>(a.channel) * geo_.rows_per_bank + a.row;
+  upper = upper * geo_.cols_per_row() + a.col;
+  upper = upper * geo_.ranks_per_channel + a.rank;
+  const std::uint64_t line = upper * banks_per_partition_ + bank_in;
+  return partition * partition_bytes_ + line * geo_.col_bytes;
+}
+
 std::string_view to_string(MappingKind kind) {
   switch (kind) {
     case MappingKind::kLinear: return "linear";
     case MappingKind::kLineInterleaved: return "line";
     case MappingKind::kChannelInterleaved: return "channel";
+    case MappingKind::kBankPartition: return "bankpart";
   }
   return "?";
 }
@@ -98,17 +138,23 @@ std::optional<MappingKind> parse_mapping(std::string_view name) {
   if (name == "channel" || name == "channel-interleaved") {
     return MappingKind::kChannelInterleaved;
   }
+  if (name == "bankpart" || name == "bank-partition") {
+    return MappingKind::kBankPartition;
+  }
   return std::nullopt;
 }
 
 std::unique_ptr<AddressMapper> make_mapper(MappingKind kind,
-                                           const dram::Geometry& geo) {
+                                           const dram::Geometry& geo,
+                                           unsigned partitions) {
   switch (kind) {
     case MappingKind::kLinear: return std::make_unique<LinearMapper>(geo);
     case MappingKind::kLineInterleaved:
       return std::make_unique<LineInterleavedMapper>(geo);
     case MappingKind::kChannelInterleaved:
       return std::make_unique<ChannelInterleavedMapper>(geo);
+    case MappingKind::kBankPartition:
+      return std::make_unique<BankPartitionMapper>(geo, partitions);
   }
   EASYDRAM_EXPECTS(!"unknown MappingKind");
   return nullptr;

@@ -88,16 +88,51 @@ class ChannelInterleavedMapper final : public AddressMapper {
   dram::Geometry geo_;
 };
 
+/// Static bank partitioning: the physical space splits into `partitions`
+/// equal slices, each owning a disjoint set of banks in every rank and
+/// channel. Within a slice consecutive cache lines stripe across the
+/// slice's own banks (then ranks, columns, rows, channels — the
+/// LineInterleaved order). Place each tenant's footprint in its own slice
+/// and no stream can close another's row buffers: bank conflicts between
+/// tenants become structurally impossible, the classic software QoS knob
+/// that needs no scheduler cooperation.
+class BankPartitionMapper final : public AddressMapper {
+ public:
+  BankPartitionMapper(const dram::Geometry& geo, unsigned partitions);
+
+  dram::DramAddress to_dram(std::uint64_t paddr) const override;
+  std::uint64_t to_physical(const dram::DramAddress& a) const override;
+  const dram::Geometry& geometry() const override { return geo_; }
+  std::string_view name() const override { return "bankpart"; }
+
+  unsigned partitions() const { return partitions_; }
+  /// Base physical address of partition `p` — hand each tenant its slice.
+  std::uint64_t partition_base(unsigned p) const {
+    return static_cast<std::uint64_t>(p) * partition_bytes_;
+  }
+  std::uint64_t partition_bytes() const { return partition_bytes_; }
+
+ private:
+  dram::Geometry geo_;
+  unsigned partitions_;
+  std::uint32_t banks_per_partition_;
+  std::uint64_t partition_bytes_;
+};
+
 /// The mapper family by name (SystemConfig::mapping, the CLI's --mapping).
 enum class MappingKind : std::uint8_t {
   kLinear,
   kLineInterleaved,
   kChannelInterleaved,
+  kBankPartition,
 };
 
 std::string_view to_string(MappingKind kind);
 std::optional<MappingKind> parse_mapping(std::string_view name);
+/// `partitions` applies to kBankPartition only (must divide the per-rank
+/// bank count); the other mappings ignore it.
 std::unique_ptr<AddressMapper> make_mapper(MappingKind kind,
-                                           const dram::Geometry& geo);
+                                           const dram::Geometry& geo,
+                                           unsigned partitions = 4);
 
 }  // namespace easydram::smc

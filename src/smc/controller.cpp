@@ -37,6 +37,7 @@ bool MemoryController::step(EasyApi& api) {
     entry.dram_addr = api.get_addr_mapping(req.paddr);
     entry.request = std::move(req);
     api.charge(api.tile().meter().costs().table_insert);
+    streams_.note_arrival(entry.request.stream_id);
     table_.insert(std::move(entry));
     worked = true;
   }
@@ -49,10 +50,30 @@ bool MemoryController::step(EasyApi& api) {
   // (ii) Make a scheduling decision. The api itself is the scheduler's
   // bank-state view (one virtual call per scanned entry, no closures).
   std::size_t scanned = 0;
-  const auto pick = options_.scheduler->pick(table_, api, scanned);
+  const PickContext ctx{table_, api, &streams_};
+  const auto pick = options_.scheduler->pick(ctx, scanned);
   api.charge(api.tile().meter().costs().schedule_scan_entry *
              static_cast<std::int64_t>(scanned));
   EASYDRAM_ENSURES(pick.has_value());
+
+  // Scheduler counters are host-side bookkeeping only (no timeline charge):
+  // the modeled cost of the decision is already the scan charge above. The
+  // hit/conflict verdict is taken against the bank state the policy saw,
+  // before serving mutates it.
+  ApiStats& stats = api.stats_mutable();
+  ++stats.sched_picks;
+  stats.sched_entries_scanned += scanned;
+  {
+    const dram::DramAddress& a = table_.at(*pick).dram_addr;
+    const auto open = api.open_row(a);
+    if (open.has_value()) {
+      if (*open == a.row) {
+        ++stats.sched_row_hits;
+      } else {
+        ++stats.sched_row_conflicts;
+      }
+    }
+  }
 
   TableEntry entry = table_.remove(*pick);
   api.note_service_start(entry.request.issue_proc_cycle);
@@ -187,8 +208,10 @@ void MemoryController::serve_column_batch(EasyApi& api, TableEntry first) {
   // (and the system engine) observe completion.
   std::size_t rd = 0;
   for (const TableEntry& e : batch) {
+    streams_.note_service(e.request.stream_id);
     tile::Response resp;
     resp.id = e.request.id;
+    resp.stream_id = e.request.stream_id;
     if (e.request.kind == tile::RequestKind::kRead) {
       bender::ReadbackEntry& rb = rdback_scratch_[rd++];
       if (ecc_on) {
@@ -289,8 +312,10 @@ void MemoryController::serve_rowclone(EasyApi& api, const TableEntry& entry) {
   const dram::DramAddress src = entry.dram_addr;
   const dram::DramAddress dst = api.get_addr_mapping(entry.request.paddr2);
 
+  streams_.note_service(entry.request.stream_id);
   tile::Response resp;
   resp.id = entry.request.id;
+  resp.stream_id = entry.request.stream_id;
   // RowClone is an intra-bank operation: the pair must share the full
   // (channel, rank, bank) coordinate. The clone map is keyed by the
   // system-wide bank index so ranks/channels never alias.
@@ -332,8 +357,10 @@ void MemoryController::serve_profile(EasyApi& api, const TableEntry& entry) {
   // Step 3: report whether the reduced access returned correct data.
   EASYDRAM_ENSURES(!api.rdback_empty());
   const auto rb = api.rdback_cacheline();
+  streams_.note_service(entry.request.stream_id);
   tile::Response resp;
   resp.id = entry.request.id;
+  resp.stream_id = entry.request.stream_id;
   resp.ok = std::memcmp(rb.data.data(), pattern.data(), 64) == 0;
   api.enqueue_response(resp);
 }
@@ -351,6 +378,7 @@ bool SimpleReadController::step(EasyApi& api) {
   api.flush_commands();
   tile::Response resp;
   resp.id = req.id;
+  resp.stream_id = req.stream_id;
   resp.has_data = true;
   resp.data = api.rdback_cacheline().data;
   api.enqueue_response(resp);

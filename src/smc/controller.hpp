@@ -75,6 +75,10 @@ class MemoryController final : public Controller, public ActSink {
 
   const RequestTable& table() const { return table_; }
 
+  /// Per-stream arrival/service bookkeeping (fed to stream-aware
+  /// schedulers through PickContext).
+  const StreamTable& streams() const { return streams_; }
+
   /// Installed mitigation policy, if any (owned by the caller; the
   /// system layer aggregates its stats across channels).
   const mitigation::RowHammerMitigator* mitigator() const {
@@ -116,6 +120,9 @@ class MemoryController final : public Controller, public ActSink {
 
   ControllerOptions options_;
   RequestTable table_;
+  /// Per-stream arrival and attained-service counters; ATLAS/TCM/BLISS
+  /// consult them via PickContext.
+  StreamTable streams_;
   /// Scratch for serve_column_batch, reused across batches so the hot
   /// path never allocates.
   std::vector<TableEntry> batch_scratch_;

@@ -51,6 +51,18 @@ struct ApiStats {
   /// Reads acknowledged ok whose data mismatched the device's ground
   /// truth — the silent-corruption count the pipeline exists to zero.
   std::int64_t ecc_escaped = 0;
+
+  // --- Scheduler counters (host-side bookkeeping, never charged) -----------
+  /// Scheduling decisions the policy made (one per served table pick).
+  std::int64_t sched_picks = 0;
+  /// Picks whose target bank held the requested row open.
+  std::int64_t sched_row_hits = 0;
+  /// Picks whose target bank held a *different* row open (a precharged
+  /// bank counts as neither hit nor conflict).
+  std::int64_t sched_row_conflicts = 0;
+  /// Table entries examined across all decisions (the quantity the cycle
+  /// meter charges schedule_scan_entry for).
+  std::int64_t sched_entries_scanned = 0;
 };
 
 /// Observer of the DDR command stream an EasyApi instance builds. The

@@ -1,15 +1,16 @@
 #include "smc/scheduler.hpp"
 
+#include <algorithm>
+
 namespace easydram::smc {
 
-std::optional<std::size_t> FcfsScheduler::pick(const RequestTable& table,
-                                               const BankStateView& /*banks*/,
+std::optional<std::size_t> FcfsScheduler::pick(const PickContext& ctx,
                                                std::size_t& scanned_entries) {
   // The modeled SMC program walks its whole table to find the oldest
   // entry; the host gets it for free as the head of the arrival list.
-  scanned_entries = table.size();
-  if (table.empty()) return std::nullopt;
-  return table.first();
+  scanned_entries = ctx.table.size();
+  if (ctx.table.empty()) return std::nullopt;
+  return ctx.table.first();
 }
 
 namespace {
@@ -40,61 +41,254 @@ std::optional<std::size_t> frfcfs_pick_below(const RequestTable& table,
   return oldest;
 }
 
+/// FR-FCFS restricted to entries whose stream satisfies `pred`: the oldest
+/// row hit among them, else the oldest; nullopt when no entry qualifies.
+template <typename StreamPredicate>
+std::optional<std::size_t> frfcfs_pick_if(const RequestTable& table,
+                                          const BankStateView& banks,
+                                          StreamPredicate pred) {
+  std::optional<std::size_t> oldest;
+  for (std::size_t s = table.first(); s != RequestTable::kNull;
+       s = table.next(s)) {
+    const TableEntry& e = table.at(s);
+    if (!pred(e.request.stream_id)) continue;
+    if (!oldest) oldest = s;
+    if (is_row_hit(banks, e.dram_addr)) return s;
+  }
+  return oldest;
+}
+
+/// Distinct stream ids outstanding in `table`, ascending. The table is
+/// small (tens of slots), so a sorted scratch vector beats any set.
+std::vector<std::uint32_t> distinct_streams(const RequestTable& table) {
+  std::vector<std::uint32_t> streams;
+  for (std::size_t s = table.first(); s != RequestTable::kNull;
+       s = table.next(s)) {
+    streams.push_back(table.at(s).request.stream_id);
+  }
+  std::sort(streams.begin(), streams.end());
+  streams.erase(std::unique(streams.begin(), streams.end()), streams.end());
+  return streams;
+}
+
 }  // namespace
 
-std::optional<std::size_t> FrfcfsScheduler::pick(const RequestTable& table,
-                                                 const BankStateView& banks,
+std::optional<std::size_t> FrfcfsScheduler::pick(const PickContext& ctx,
                                                  std::size_t& scanned_entries) {
-  scanned_entries = table.size();
-  if (table.empty()) return std::nullopt;
-  return frfcfs_pick_below(table, banks, kNoLimit);
+  scanned_entries = ctx.table.size();
+  if (ctx.table.empty()) return std::nullopt;
+  return frfcfs_pick_below(ctx.table, ctx.banks, kNoLimit);
 }
 
 BatchScheduler::BatchScheduler(std::size_t batch_size) : batch_size_(batch_size) {
   EASYDRAM_EXPECTS(batch_size > 0);
 }
 
-std::optional<std::size_t> BatchScheduler::pick(const RequestTable& table,
-                                                const BankStateView& banks,
+std::optional<std::size_t> BatchScheduler::pick(const PickContext& ctx,
                                                 std::size_t& scanned_entries) {
+  const RequestTable& table = ctx.table;
   scanned_entries = table.size();
   if (table.empty()) return std::nullopt;
 
   // Serve FR-FCFS *within* the current batch; open a new batch only when
   // the current one is fully drained.
-  auto in_batch = frfcfs_pick_below(table, banks, batch_boundary_);
+  auto in_batch = frfcfs_pick_below(table, ctx.banks, batch_boundary_);
   if (!in_batch) {
     // Current batch drained: the next batch covers the next batch_size_
     // arrivals starting from the oldest outstanding request.
     batch_boundary_ = table.at(table.first()).arrival_seq + batch_size_;
-    in_batch = frfcfs_pick_below(table, banks, batch_boundary_);
+    in_batch = frfcfs_pick_below(table, ctx.banks, batch_boundary_);
   }
   return in_batch;
 }
 
-BlacklistScheduler::BlacklistScheduler(int streak_limit)
-    : streak_limit_(streak_limit) {
+BlacklistScheduler::BlacklistScheduler(int streak_limit,
+                                       std::uint64_t clear_interval)
+    : streak_limit_(streak_limit), clear_interval_(clear_interval) {
   EASYDRAM_EXPECTS(streak_limit > 0);
+  EASYDRAM_EXPECTS(clear_interval > 0);
 }
 
-std::optional<std::size_t> BlacklistScheduler::pick(const RequestTable& table,
-                                                    const BankStateView& banks,
-                                                    std::size_t& scanned_entries) {
-  scanned_entries = table.size();
-  if (table.empty()) return std::nullopt;
+std::optional<std::size_t> BlacklistScheduler::pick(
+    const PickContext& ctx, std::size_t& scanned_entries) {
+  scanned_entries = ctx.table.size();
+  if (ctx.table.empty()) return std::nullopt;
 
+  // Per-stream blacklisting needs at least two streams to arbitrate
+  // between; a single-stream table uses the original bounded-row-streak
+  // simplification so legacy single-source traffic sees identical
+  // decisions.
+  if (distinct_streams(ctx.table).size() >= 2) return pick_multi_stream(ctx);
+  return pick_single_source(ctx);
+}
+
+std::optional<std::size_t> BlacklistScheduler::pick_single_source(
+    const PickContext& ctx) {
   std::optional<std::size_t> choice;
-  if (streak_ < streak_limit_) {
-    choice = frfcfs_pick_below(table, banks, kNoLimit);
+  if (row_streak_ < streak_limit_) {
+    choice = frfcfs_pick_below(ctx.table, ctx.banks, kNoLimit);
   } else {
-    // Blacklisted: break the streak with the oldest request.
-    choice = table.first();
+    // Streak limit reached: break it with the oldest request.
+    choice = ctx.table.first();
   }
 
-  const std::uint64_t row_key = dram::row_key(table.at(*choice).dram_addr);
-  streak_ = row_key == last_row_key_ ? streak_ + 1 : 1;
+  const std::uint64_t row_key = dram::row_key(ctx.table.at(*choice).dram_addr);
+  row_streak_ = has_last_row_ && row_key == last_row_key_ ? row_streak_ + 1 : 1;
+  has_last_row_ = true;
   last_row_key_ = row_key;
   return choice;
+}
+
+std::optional<std::size_t> BlacklistScheduler::pick_multi_stream(
+    const PickContext& ctx) {
+  // Clearing interval: periodically forgive everyone so a blacklisted
+  // stream is not starved forever (counted in picks, not cycles, to stay
+  // invariant under time scaling).
+  if (picks_since_clear_ >= clear_interval_) {
+    std::fill(blacklist_.begin(), blacklist_.end(), false);
+    picks_since_clear_ = 0;
+    stream_streak_ = 0;
+    has_last_stream_ = false;
+  }
+
+  // Non-blacklisted requests outrank blacklisted ones; within a rank class
+  // FR-FCFS applies. When every outstanding stream is blacklisted there is
+  // nothing to protect, so plain FR-FCFS decides.
+  auto choice = frfcfs_pick_if(ctx.table, ctx.banks, [this](std::uint32_t s) {
+    return !blacklisted(s);
+  });
+  if (!choice) choice = frfcfs_pick_below(ctx.table, ctx.banks, kNoLimit);
+
+  const std::uint32_t stream = ctx.table.at(*choice).request.stream_id;
+  stream_streak_ =
+      has_last_stream_ && stream == last_stream_ ? stream_streak_ + 1 : 1;
+  has_last_stream_ = true;
+  last_stream_ = stream;
+  if (stream_streak_ >= streak_limit_) {
+    if (stream >= blacklist_.size()) blacklist_.resize(stream + 1, false);
+    blacklist_[stream] = true;
+    stream_streak_ = 0;
+    has_last_stream_ = false;
+  }
+  ++picks_since_clear_;
+  return choice;
+}
+
+std::optional<std::size_t> AtlasScheduler::pick(const PickContext& ctx,
+                                                std::size_t& scanned_entries) {
+  scanned_entries = ctx.table.size();
+  if (ctx.table.empty()) return std::nullopt;
+  if (ctx.streams == nullptr) {
+    return frfcfs_pick_below(ctx.table, ctx.banks, kNoLimit);
+  }
+
+  // Rank outstanding streams by long-term attained service, least first
+  // (ties to the lower stream id), and serve FR-FCFS within the winner.
+  const std::vector<std::uint32_t> present = distinct_streams(ctx.table);
+  std::uint32_t best = present.front();
+  std::uint64_t best_service = ctx.streams->attained_service(best);
+  for (const std::uint32_t s : present) {
+    const std::uint64_t service = ctx.streams->attained_service(s);
+    if (service < best_service) {
+      best = s;
+      best_service = service;
+    }
+  }
+  return frfcfs_pick_if(ctx.table, ctx.banks,
+                        [best](std::uint32_t s) { return s == best; });
+}
+
+TcmScheduler::TcmScheduler(std::uint64_t window_size)
+    : window_size_(window_size) {
+  EASYDRAM_EXPECTS(window_size > 0);
+}
+
+void TcmScheduler::roll_window() {
+  // Classify by served share over the closing window: streams above the
+  // fair share (window / active streams) join the bandwidth-heavy cluster,
+  // everyone else is latency-sensitive. A lone stream can never exceed its
+  // own fair share, so single-stream traffic stays latency-classified and
+  // the policy degenerates to plain FR-FCFS.
+  std::uint64_t active = 0;
+  for (const std::uint64_t served : served_in_window_) {
+    if (served > 0) ++active;
+  }
+  bandwidth_.assign(served_in_window_.size(), false);
+  if (active > 0) {
+    const std::uint64_t fair_share = picks_in_window_ / active;
+    for (std::size_t s = 0; s < served_in_window_.size(); ++s) {
+      bandwidth_[s] = served_in_window_[s] > fair_share;
+    }
+  }
+  std::fill(served_in_window_.begin(), served_in_window_.end(), 0);
+  picks_in_window_ = 0;
+  ++shuffle_offset_;  // Rotate which bandwidth hog goes first next window.
+}
+
+std::optional<std::size_t> TcmScheduler::pick(const PickContext& ctx,
+                                              std::size_t& scanned_entries) {
+  scanned_entries = ctx.table.size();
+  if (ctx.table.empty()) return std::nullopt;
+  if (picks_in_window_ >= window_size_) roll_window();
+
+  // Latency cluster strictly first.
+  auto choice = frfcfs_pick_if(ctx.table, ctx.banks, [this](std::uint32_t s) {
+    return !bandwidth_cluster(s);
+  });
+  if (!choice) {
+    // Only bandwidth-heavy streams outstanding: the shuffle offset picks
+    // which of them owns top priority this window.
+    const std::vector<std::uint32_t> present = distinct_streams(ctx.table);
+    const std::uint32_t first =
+        present[static_cast<std::size_t>(shuffle_offset_ % present.size())];
+    choice = frfcfs_pick_if(ctx.table, ctx.banks,
+                            [first](std::uint32_t s) { return s == first; });
+    if (!choice) choice = frfcfs_pick_below(ctx.table, ctx.banks, kNoLimit);
+  }
+
+  const std::uint32_t stream = ctx.table.at(*choice).request.stream_id;
+  if (stream >= served_in_window_.size()) {
+    served_in_window_.resize(stream + 1, 0);
+  }
+  ++served_in_window_[stream];
+  ++picks_in_window_;
+  return choice;
+}
+
+std::string_view to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kAuto: return "auto";
+    case SchedulerKind::kFcfs: return "fcfs";
+    case SchedulerKind::kFrfcfs: return "frfcfs";
+    case SchedulerKind::kParbs: return "parbs";
+    case SchedulerKind::kBliss: return "bliss";
+    case SchedulerKind::kAtlas: return "atlas";
+    case SchedulerKind::kTcm: return "tcm";
+  }
+  return "auto";
+}
+
+std::optional<SchedulerKind> parse_scheduler(std::string_view token) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kAuto, SchedulerKind::kFcfs, SchedulerKind::kFrfcfs,
+        SchedulerKind::kParbs, SchedulerKind::kBliss, SchedulerKind::kAtlas,
+        SchedulerKind::kTcm}) {
+    if (token == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs: return std::make_unique<FcfsScheduler>();
+    case SchedulerKind::kAuto:
+    case SchedulerKind::kFrfcfs: return std::make_unique<FrfcfsScheduler>();
+    case SchedulerKind::kParbs: return std::make_unique<BatchScheduler>();
+    case SchedulerKind::kBliss: return std::make_unique<BlacklistScheduler>();
+    case SchedulerKind::kAtlas: return std::make_unique<AtlasScheduler>();
+    case SchedulerKind::kTcm: return std::make_unique<TcmScheduler>();
+  }
+  return std::make_unique<FrfcfsScheduler>();
 }
 
 }  // namespace easydram::smc

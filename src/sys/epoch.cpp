@@ -174,6 +174,7 @@ void EpochScheduler::run_parallel(const PumpPhase& phase, int start) {
     for (const DrainedCompletion& d : buffer) {
       sys_.completed_.put(d.id, d.release_proc_cycle, d.ok, d.error,
                           d.data_reliable);
+      sys_.record_latency(d.id, d.stream, d.release_proc_cycle);
     }
     buffer.clear();
   }
@@ -285,8 +286,9 @@ void EpochScheduler::pump_block(unsigned worker, const PumpPhase& phase) {
         auto& fifo = slice.tile.outgoing();
         while (!fifo.empty()) {
           const tile::Response& resp = fifo.front();
-          drained_[l.ch].push_back({resp.id, resp.release_proc_cycle, resp.ok,
-                                    resp.data_reliable, resp.error});
+          drained_[l.ch].push_back({resp.id, resp.release_proc_cycle,
+                                    resp.stream_id, resp.ok, resp.data_reliable,
+                                    resp.error});
           if (phase.goal == PumpGoal::kCompletion && l.ch == phase.channel &&
               resp.id == phase.id) {
             l.saw_completion = true;

@@ -85,6 +85,7 @@ class EpochScheduler {
   struct DrainedCompletion {
     std::uint64_t id = 0;
     std::int64_t release_proc_cycle = 0;
+    std::uint32_t stream = 0;
     bool ok = true;
     bool data_reliable = true;
     RequestError error = RequestError::kNone;

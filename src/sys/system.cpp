@@ -65,7 +65,8 @@ EasyDramSystem::ChannelSlice::ChannelSlice(const SystemConfig& cfg,
       api(tile, device, mapper, keeper, channel) {}
 
 EasyDramSystem::EasyDramSystem(const SystemConfig& cfg)
-    : cfg_(cfg), mapper_(smc::make_mapper(cfg.mapping, cfg.geometry)) {
+    : cfg_(cfg),
+      mapper_(smc::make_mapper(cfg.mapping, cfg.geometry, cfg.bank_partitions)) {
   EASYDRAM_EXPECTS(cfg.core.emulated_clock == cfg.proc_domain.emulated_clock);
   EASYDRAM_EXPECTS(cfg.geometry.channels >= 1);
   EASYDRAM_EXPECTS(cfg.geometry.ranks_per_channel >= 1);
@@ -171,6 +172,10 @@ smc::ApiStats EasyDramSystem::smc_stats() const {
     total.retries_issued += s.retries_issued;
     total.rows_retired += s.rows_retired;
     total.ecc_escaped += s.ecc_escaped;
+    total.sched_picks += s.sched_picks;
+    total.sched_row_hits += s.sched_row_hits;
+    total.sched_row_conflicts += s.sched_row_conflicts;
+    total.sched_entries_scanned += s.sched_entries_scanned;
   }
   return total;
 }
@@ -248,6 +253,8 @@ void EasyDramSystem::rebuild_controllers() {
     if (cfg_.scheduler_factory) {
       options.scheduler = cfg_.scheduler_factory();
       EASYDRAM_EXPECTS(options.scheduler != nullptr);
+    } else if (cfg_.sched != smc::SchedulerKind::kAuto) {
+      options.scheduler = smc::make_scheduler(cfg_.sched);
     } else if (cfg_.use_frfcfs) {
       options.scheduler = std::make_unique<smc::FrfcfsScheduler>();
     } else {
@@ -333,9 +340,18 @@ void EasyDramSystem::drain_outgoing() {
       const tile::Response& resp = fifo.front();
       completed_.put(resp.id, resp.release_proc_cycle, resp.ok, resp.error,
                      resp.data_reliable);
+      record_latency(resp.id, resp.stream_id, resp.release_proc_cycle);
       fifo.drop();
     }
   }
+}
+
+void EasyDramSystem::record_latency(std::uint64_t id, std::uint32_t stream,
+                                    std::int64_t release_proc_cycle) {
+  if (!cfg_.track_stream_latency) return;
+  if (stream >= stream_samples_.size()) stream_samples_.resize(stream + 1);
+  stream_samples_[stream].push_back(release_proc_cycle -
+                                    completed_.issue_proc_cycle(id));
 }
 
 bool EasyDramSystem::step_channel(ChannelSlice& ch) {
@@ -394,12 +410,14 @@ std::uint64_t EasyDramSystem::submit(tile::Request req, std::uint32_t channel,
   pump_until_fifo_has_room(channel);
   ChannelSlice& ch = *channels_[channel];
   req.id = next_id_++;
+  req.stream_id = current_stream_;
   req.issue_proc_cycle = now;
   req.arrival_wall = ch.keeper.wall();
   const std::uint64_t id = req.id;
   // Record the routing decision: only this channel's slice can ever
   // complete the id, which is what lets wait() become a per-channel goal.
-  completed_.note_pending(id, channel);
+  // Stream and issue cycle ride along for per-stream latency accounting.
+  completed_.note_pending(id, channel, req.stream_id, now);
   ch.tile.incoming().push(std::move(req));
   return id;
 }
@@ -464,8 +482,12 @@ cpu::Completion EasyDramSystem::wait(std::uint64_t id) {
   } else {
     pump_until([this, id] { return completed_.ready(id); });
   }
-  cpu::Completion c{completed_.release_proc_cycle(id), completed_.ok(id),
-                    completed_.data_reliable(id), completed_.error(id)};
+  cpu::Completion c;
+  c.release_cycle = completed_.release_proc_cycle(id);
+  c.stream = completed_.stream(id);
+  c.ok = completed_.ok(id);
+  c.data_reliable = completed_.data_reliable(id);
+  c.error = completed_.error(id);
   completed_.consume(id);
   return c;
 }

@@ -59,10 +59,19 @@ struct SystemConfig {
 
   tile::TileConfig tile{};
   bool use_frfcfs = true;
+  /// Scheduling policy by registry kind (see smc::SchedulerKind / the CLI's
+  /// --sched flag). kAuto defers to the legacy `use_frfcfs` switch;
+  /// `scheduler_factory` (below) overrides both.
+  smc::SchedulerKind sched = smc::SchedulerKind::kAuto;
   /// Physical-to-DRAM address mapping (see smc::MappingKind): row-linear by
   /// default; line-interleaved stripes lines across banks;
   /// channel-interleaved stripes lines across channels.
   smc::MappingKind mapping = smc::MappingKind::kLinear;
+  /// Partition count of the kBankPartition mapping (ignored by the other
+  /// mappings): the physical space splits into this many equal slices, each
+  /// owning a disjoint set of banks. Give each tenant its own slice and no
+  /// stream can ever close another's row buffer.
+  unsigned bank_partitions = 4;
   Picoseconds reduced_trcd{9000};
   /// Row-hit drain limit of the stock controller (see ControllerOptions).
   std::size_t row_batch_limit = 16;
@@ -114,6 +123,13 @@ struct SystemConfig {
   /// (ECC can run on a fault-free device and vice versa — escapes are only
   /// *interesting* with both on).
   smc::EccConfig ecc{};
+
+  /// Records every completed request's modeled latency (release minus
+  /// issue processor cycle) into a per-stream sample vector (see
+  /// EasyDramSystem::stream_latency_samples). Off by default — the samples
+  /// cost memory proportional to the request count and single-stream
+  /// scenarios never read them.
+  bool track_stream_latency = false;
 
   /// Worker threads pumping the channel slices (clamped to the channel
   /// count; 0 and 1 both mean the serial engine). Any value produces
@@ -211,6 +227,10 @@ class EasyDramSystem final : public cpu::MemoryBackend {
   /// pumps the controllers until that id completes and consumes it (each
   /// id is waitable exactly once). submit_profile's `trcd` is the
   /// Picoseconds ACT->RD spacing to test.
+  /// Sets the stream identity stamped onto subsequently submitted requests
+  /// (sticky; the core calls this when its trace's stream changes).
+  void set_stream(std::uint32_t stream) override { current_stream_ = stream; }
+
   std::uint64_t submit_read(std::uint64_t paddr, std::int64_t now) override;
   std::uint64_t submit_write(std::uint64_t paddr, std::int64_t now) override;
   std::uint64_t submit_rowclone(std::uint64_t src_paddr, std::uint64_t dst_paddr,
@@ -251,6 +271,14 @@ class EasyDramSystem final : public cpu::MemoryBackend {
   std::int64_t retention_violations() const;
   /// Worst retention overshoot over every channel device.
   Picoseconds max_retention_overshoot() const;
+  /// Per-stream modeled-latency samples (emulated processor cycles, one per
+  /// completed request, indexed by stream id), recorded in completion-drain
+  /// order when `track_stream_latency` is set. Sort before computing
+  /// percentiles: the drain order is engine-dependent even though the
+  /// sample multiset is bit-identical at any worker count.
+  const std::vector<std::vector<std::int64_t>>& stream_latency_samples() const {
+    return stream_samples_;
+  }
 
  private:
   /// One memory channel: device + tile + timeline + API + controller.
@@ -289,6 +317,11 @@ class EasyDramSystem final : public cpu::MemoryBackend {
     }
   }
   void drain_outgoing();
+  /// Appends the completed id's modeled latency to its stream's sample
+  /// vector (no-op unless cfg_.track_stream_latency). Must run before the
+  /// id is consumed — it reads the issue cycle off the completion slot.
+  void record_latency(std::uint64_t id, std::uint32_t stream,
+                      std::int64_t release_proc_cycle);
   void account_cpu_progress(std::int64_t now);
   void rebuild_controllers();
   bool all_idle() const;
@@ -318,6 +351,10 @@ class EasyDramSystem final : public cpu::MemoryBackend {
 
   std::uint64_t next_id_ = 1;
   std::int64_t last_cpu_cycle_ = 0;
+  /// Stream identity stamped onto submitted requests (set_stream).
+  std::uint32_t current_stream_ = 0;
+  /// Per-stream latency samples (empty unless track_stream_latency).
+  std::vector<std::vector<std::int64_t>> stream_samples_;
   /// Responses drained from the tiles, keyed by the dense request id
   /// stream (the core waits approximately in order; see CompletionRing).
   /// Workers never write it directly — they buffer completions per slice

@@ -26,6 +26,10 @@ enum class RequestKind : std::uint8_t {
 struct Request {
   std::uint64_t id = 0;
   RequestKind kind = RequestKind::kRead;
+  /// Traffic-stream identity (tenant id in multi-tenant workloads). Stream 0
+  /// is the anonymous default; schedulers and per-stream accounting key on
+  /// this value end-to-end (request -> table slot -> response -> completion).
+  std::uint32_t stream_id = 0;
   std::uint64_t paddr = 0;
   std::uint64_t paddr2 = 0;                ///< kRowClone destination.
   std::array<std::uint8_t, 64> wdata{};    ///< kWrite payload.
@@ -40,6 +44,9 @@ struct Request {
 /// A response placed in the outgoing FIFO by the software memory controller.
 struct Response {
   std::uint64_t id = 0;
+  /// Stream identity echoed from the originating request so per-stream
+  /// latency accounting never has to look the request back up.
+  std::uint32_t stream_id = 0;
   std::array<std::uint8_t, 64> data{};
   bool has_data = false;
   /// kRowClone: the in-DRAM copy failed and the processor must fall back to

@@ -53,6 +53,10 @@ constexpr GoldenEntry kGolden[] = {
     {"fig2_breakdown", 0xD070C9DB79A7858Aull},
     {"fig8_latency_profile", 0x0BEC113C08C4FC67ull},
     {"mitigation_overhead", 0x44FF6F4B882509B9ull},
+    {"qos_bank_partition", 0xC6CC1895D784AB1Aull},
+    {"qos_mitigation", 0xED42D1BBCB2C9035ull},
+    {"qos_mixed_tenants", 0xE834B07DB32CA8F6ull},
+    {"qos_tenant_scaling", 0xFD316D25A77D8CACull},
     {"quickstart", 0x030BF38B297270D9ull},
     {"raidr_baseline", 0xF41CB380C1C0612Cull},
     {"raidr_misbinning", 0xEB18E22701594F4Eull},
@@ -119,6 +123,34 @@ TEST(GoldenHashTest, MultiChannelScenariosThreadCountInvariant) {
           << name << " diverged at --threads " << threads;
     }
     for (const unsigned pump : {2u, 4u}) {
+      RunOptions opts = base;
+      opts.pump_workers = pump;
+      EXPECT_EQ(run_scenario(*s, opts)["results"].dump_string(), serial)
+          << name << " diverged at --pump-workers " << pump;
+    }
+  }
+}
+
+/// Stream identity rides through the request table, completion ring, and
+/// per-stream latency histograms — every one a candidate for
+/// worker-count-dependent ordering. The QoS scenarios must stay
+/// bit-identical however the host budget is split, like everything else.
+TEST(GoldenHashTest, QosScenariosThreadCountInvariant) {
+  const char* kQos[] = {"qos_tenant_scaling", "qos_bank_partition"};
+  for (const char* name : kQos) {
+    const Scenario* s = ScenarioRegistry::instance().find(name);
+    ASSERT_NE(s, nullptr) << name;
+    RunOptions base;
+    base.verbose = false;
+    const std::string serial =
+        run_scenario(*s, base)["results"].dump_string();
+    {
+      RunOptions opts = base;
+      opts.threads = 4;
+      EXPECT_EQ(run_scenario(*s, opts)["results"].dump_string(), serial)
+          << name << " diverged at --threads 4";
+    }
+    for (const unsigned pump : {1u, 4u}) {
       RunOptions opts = base;
       opts.pump_workers = pump;
       EXPECT_EQ(run_scenario(*s, opts)["results"].dump_string(), serial)

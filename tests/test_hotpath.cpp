@@ -131,8 +131,8 @@ TEST(HotPathPropertyTest, SlotTablePreservesPickOrder) {
       }
 
       std::size_t scanned = 0;
-      const auto pick = use_frfcfs ? frfcfs.pick(table, banks, scanned)
-                                   : fcfs.pick(table, banks, scanned);
+      const auto pick = use_frfcfs ? frfcfs.pick({table, banks}, scanned)
+                                   : fcfs.pick({table, banks}, scanned);
       const auto ref_pick =
           use_frfcfs ? ref_frfcfs(ref, banks.rows) : ref_fcfs(ref);
       ASSERT_EQ(pick.has_value(), ref_pick.has_value());

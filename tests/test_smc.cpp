@@ -153,7 +153,7 @@ TEST(SchedulerTest, FcfsPicksOldest) {
   LambdaBanks banks([](std::uint32_t) { return std::optional<std::uint32_t>{}; });
   FcfsScheduler fcfs;
   std::size_t scanned = 0;
-  EXPECT_EQ(fcfs.pick(t, banks, scanned).value(), 0u);
+  EXPECT_EQ(fcfs.pick({t, banks}, scanned).value(), 0u);
   EXPECT_EQ(scanned, 2u);
 }
 
@@ -167,7 +167,7 @@ TEST(SchedulerTest, FrfcfsPrefersRowHit) {
   });
   FrfcfsScheduler frfcfs;
   std::size_t scanned = 0;
-  EXPECT_EQ(frfcfs.pick(t, banks, scanned).value(), 1u);
+  EXPECT_EQ(frfcfs.pick({t, banks}, scanned).value(), 1u);
 }
 
 TEST(SchedulerTest, FrfcfsFallsBackToOldest) {
@@ -177,7 +177,7 @@ TEST(SchedulerTest, FrfcfsFallsBackToOldest) {
   LambdaBanks banks([](std::uint32_t) { return std::optional<std::uint32_t>{}; });
   FrfcfsScheduler frfcfs;
   std::size_t scanned = 0;
-  EXPECT_EQ(frfcfs.pick(t, banks, scanned).value(), 0u);
+  EXPECT_EQ(frfcfs.pick({t, banks}, scanned).value(), 0u);
 }
 
 TEST(SchedulerTest, BatchSchedulerBoundsQueueingDelay) {
@@ -194,11 +194,11 @@ TEST(SchedulerTest, BatchSchedulerBoundsQueueingDelay) {
   std::size_t scanned = 0;
 
   FrfcfsScheduler frfcfs;
-  EXPECT_NE(frfcfs.pick(t, banks, scanned).value(), 0u);  // Hit first.
+  EXPECT_NE(frfcfs.pick({t, banks}, scanned).value(), 0u);  // Hit first.
 
   BatchScheduler parbs(4);  // Batch = requests with seq < 4.
   // Within the first batch, row hits (seq 1..3) still win...
-  const auto first = parbs.pick(t, banks, scanned).value();
+  const auto first = parbs.pick({t, banks}, scanned).value();
   EXPECT_NE(first, 0u);
   EXPECT_LT(t.at(first).arrival_seq, 4u);
   // ...but the old request is served before any seq >= 4 request: drain the
@@ -209,7 +209,7 @@ TEST(SchedulerTest, BatchSchedulerBoundsQueueingDelay) {
   BatchScheduler parbs2(2);
   std::vector<std::uint64_t> served;
   for (int i = 0; i < 3; ++i) {
-    const auto pick = parbs2.pick(t2, banks, scanned).value();
+    const auto pick = parbs2.pick({t2, banks}, scanned).value();
     served.push_back(t2.at(pick).arrival_seq);
     t2.remove(pick);
   }
@@ -230,7 +230,7 @@ TEST(SchedulerTest, BlacklistSchedulerBreaksRowHitStreaks) {
   BlacklistScheduler bliss(3);
   int picks_before_miss = 0;
   for (int i = 0; i < 10; ++i) {
-    const auto pick = bliss.pick(t, banks, scanned).value();
+    const auto pick = bliss.pick({t, banks}, scanned).value();
     if (t.at(pick).dram_addr.bank == 0) break;  // The old miss got served.
     t.remove(pick);
     ++picks_before_miss;
@@ -246,10 +246,10 @@ TEST(SchedulerTest, EmptyTableYieldsNothing) {
   BatchScheduler parbs;
   BlacklistScheduler bliss;
   std::size_t scanned = 0;
-  EXPECT_FALSE(frfcfs.pick(t, banks, scanned).has_value());
-  EXPECT_FALSE(fcfs.pick(t, banks, scanned).has_value());
-  EXPECT_FALSE(parbs.pick(t, banks, scanned).has_value());
-  EXPECT_FALSE(bliss.pick(t, banks, scanned).has_value());
+  EXPECT_FALSE(frfcfs.pick({t, banks}, scanned).has_value());
+  EXPECT_FALSE(fcfs.pick({t, banks}, scanned).has_value());
+  EXPECT_FALSE(parbs.pick({t, banks}, scanned).has_value());
+  EXPECT_FALSE(bliss.pick({t, banks}, scanned).has_value());
 }
 
 // --------------------------------------------------------------------------
