@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "cli/measure.hpp"
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -111,6 +112,14 @@ std::int64_t mitigation_overhead_bench(const PerfOptions& opts) {
 
 std::int64_t raidr_refresh_bench(const PerfOptions& opts) {
   return scenario_bench("raidr_baseline", opts, 1);
+}
+
+std::int64_t stream_sweep_bench(const PerfOptions& opts) {
+  return scenario_bench("stream_sweep", opts, 1);
+}
+
+std::int64_t latency_sweep_bench(const PerfOptions& opts) {
+  return scenario_bench("latency_sweep", opts, 1);
 }
 
 double now_seconds();
@@ -354,6 +363,12 @@ constexpr PerfBench kBenches[] = {
     {"qos_scheduler_overhead",
      "4-stream tagged read burst under each QoS policy vs FR-FCFS",
      &qos_scheduler_overhead_run, &qos_scheduler_overhead_detail},
+    {"stream_sweep",
+     "Full stream_sweep scenario (STREAM kernels across 8 working sets)",
+     &stream_sweep_bench},
+    {"latency_sweep",
+     "Full latency_sweep scenario (pointer chase across 8 working sets)",
+     &latency_sweep_bench},
 };
 
 double now_seconds() {
@@ -366,6 +381,7 @@ double now_seconds() {
 
 std::vector<PerfBenchOutcome> run_perf_benches(const PerfOptions& opts) {
   EASYDRAM_EXPECTS(opts.reps >= 1);
+  EASYDRAM_EXPECTS(opts.warmup >= 0);
   for (const std::string& name : opts.only) {
     const bool known = std::any_of(
         std::begin(kBenches), std::end(kBenches),
@@ -383,7 +399,8 @@ std::vector<PerfBenchOutcome> run_perf_benches(const PerfOptions& opts) {
     PerfBenchOutcome o;
     o.name = std::string(b.name);
     o.summary = std::string(b.summary);
-    for (int rep = 0; rep < opts.reps; ++rep) {
+    o.warmup = opts.warmup;
+    for (int rep = 0; rep < opts.warmup + opts.reps; ++rep) {
       const double t0 = now_seconds();
       o.work_items = b.run(opts);
       const double dt = now_seconds() - t0;
@@ -399,11 +416,14 @@ std::vector<PerfBenchOutcome> run_perf_benches(const PerfOptions& opts) {
 Json perf_results_json(const PerfOptions& opts,
                        const std::vector<PerfBenchOutcome>& outcomes) {
   Json doc = Json::object();
-  doc["schema"] = "easydram-bench-v1";
+  doc["schema"] = "easydram-bench-v2";
   doc["generator"] = "easydram_cli --perf";
   doc["reps"] = opts.reps;
+  doc["warmup_reps"] = opts.warmup;
   doc["scale"] = opts.scale;
   doc["seed"] = static_cast<std::int64_t>(opts.run.seed);
+  doc["host_cores"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
   bool all_finite = true;
 
   Json benches = Json::array();
@@ -412,18 +432,36 @@ Json perf_results_json(const PerfOptions& opts,
     j["name"] = o.name;
     j["summary"] = o.summary;
     j["work_items"] = o.work_items;
+    // The warmup series is recorded for transparency but excluded from
+    // every statistic; host_seconds_per_rep keeps its v1 meaning (the
+    // measured series only).
+    const auto wu = static_cast<std::size_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(o.warmup),
+                              o.host_seconds.size()));
+    Json warm = Json::array();
+    for (std::size_t i = 0; i < wu; ++i) warm.push_back(o.host_seconds[i]);
+    j["warmup_host_seconds"] = std::move(warm);
     Json secs = Json::array();
-    double best = o.host_seconds.empty() ? 0.0 : o.host_seconds.front();
-    for (const double s : o.host_seconds) {
-      secs.push_back(s);
-      best = std::min(best, s);
+    for (std::size_t i = wu; i < o.host_seconds.size(); ++i) {
+      secs.push_back(o.host_seconds[i]);
     }
     j["host_seconds_per_rep"] = std::move(secs);
-    j["host_seconds_best"] = best;
-    j["host_seconds_mean"] = mean(o.host_seconds);
-    if (o.work_items > 0 && best > 0.0) {
-      j["requests_per_second_best"] =
-          static_cast<double>(o.work_items) / best;
+    if (o.finite && o.host_seconds.size() > wu) {
+      const RepStats r = reduce_reps(o.host_seconds, static_cast<int>(wu));
+      j["host_seconds_best"] = r.best;
+      j["host_seconds_mean"] = r.mean;
+      j["host_seconds_median"] = r.median;
+      j["host_seconds_p95"] = r.p95;
+      j["host_seconds_stddev"] = r.stddev;
+      j["cv"] = r.cv;
+      if (o.work_items > 0 && r.median > 0.0) {
+        j["requests_per_second_median"] =
+            static_cast<double>(o.work_items) / r.median;
+      }
+      if (o.work_items > 0 && r.best > 0.0) {
+        j["requests_per_second_best"] =
+            static_cast<double>(o.work_items) / r.best;
+      }
     }
     if (o.detail.is_object()) j["detail"] = o.detail;
     j["finite"] = o.finite;
@@ -431,9 +469,9 @@ Json perf_results_json(const PerfOptions& opts,
     benches.push_back(std::move(j));
   }
   doc["benches"] = std::move(benches);
-  // The one field CI's perf-smoke gate reads: crash-free and every
-  // measurement finite/positive (never a speed threshold — runners are
-  // noisy).
+  // Crash-free and every measurement finite/positive. tools/check_bench.py
+  // additionally validates the schema, thresholds each bench's CV, and
+  // compares medians against a same-host baseline.
   doc["all_finite"] = all_finite;
   return doc;
 }
@@ -441,21 +479,31 @@ Json perf_results_json(const PerfOptions& opts,
 void print_perf_table(std::ostream& os,
                       const std::vector<PerfBenchOutcome>& outcomes) {
   TextTable t;
-  t.set_header({"Bench", "best (s)", "mean (s)", "reqs", "req/s (best)"});
+  t.set_header(
+      {"Bench", "median (s)", "best (s)", "cv", "reqs", "req/s (median)"});
   for (const PerfBenchOutcome& o : outcomes) {
-    double best = o.host_seconds.empty() ? 0.0 : o.host_seconds.front();
-    for (const double s : o.host_seconds) best = std::min(best, s);
+    const auto wu = std::min<std::size_t>(static_cast<std::size_t>(o.warmup),
+                                          o.host_seconds.size());
+    if (!o.finite || o.host_seconds.size() <= wu) {
+      t.add_row({o.name, "-", "-", "-",
+                 o.work_items > 0 ? std::to_string(o.work_items) : "-", "-"});
+      continue;
+    }
+    const RepStats r = reduce_reps(o.host_seconds, static_cast<int>(wu));
     const double rps =
-        o.work_items > 0 && best > 0.0
-            ? static_cast<double>(o.work_items) / best
+        o.work_items > 0 && r.median > 0.0
+            ? static_cast<double>(o.work_items) / r.median
             : 0.0;
-    t.add_row({o.name, fmt_fixed(best, 4), fmt_fixed(mean(o.host_seconds), 4),
+    t.add_row({o.name, fmt_fixed(r.median, 4), fmt_fixed(r.best, 4),
+               fmt_fixed(r.cv, 3),
                o.work_items > 0 ? std::to_string(o.work_items) : "-",
                rps > 0.0 ? fmt_fixed(rps, 0) : "-"});
   }
   t.print(os);
-  os << "\nHost-clock measurements: load-dependent by design. CI gates on\n"
-        "crash/NaN only; cross-PR comparisons should use the same machine.\n";
+  os << "\nHost-clock measurements: load-dependent by design. Warmup reps\n"
+        "are discarded; the median is the headline and cv = stddev/median\n"
+        "is the stability score tools/check_bench.py thresholds. Cross-PR\n"
+        "comparisons should use the same machine (see docs/bench.md).\n";
 }
 
 void list_perf_benches(std::ostream& os) {

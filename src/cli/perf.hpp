@@ -15,7 +15,11 @@ namespace easydram::cli {
 /// budget while perf investigations use a long one.
 struct PerfOptions {
   RunOptions run;
-  int reps = 3;        ///< Timed repetitions per bench (best-of is reported).
+  int reps = 3;  ///< Measured repetitions per bench (median is the headline).
+  /// Warmup repetitions run and timed before the measured ones but
+  /// excluded from every statistic (cold caches, allocator growth — the
+  /// systematic first-run cost the v2 contract discards; see docs/bench.md).
+  int warmup = 1;
   /// Multiplier on the micro benches' iteration budgets. The
   /// scenario-wrapped benches (fig14_sim_speed, channel_scaling) always
   /// run their full scenario — a partial scenario would not measure the
@@ -30,7 +34,10 @@ struct PerfBenchOutcome {
   std::string name;
   std::string summary;
   std::int64_t work_items = 0;  ///< Requests driven per rep (0 = untracked).
-  std::vector<double> host_seconds;  ///< One entry per repetition.
+  /// One entry per repetition: the first `warmup` entries are the warmup
+  /// runs, the rest are the measured series RepStats reduces.
+  std::vector<double> host_seconds;
+  int warmup = 0;      ///< Leading warmup entries in host_seconds.
   bool finite = true;  ///< All measurements were positive and finite.
   /// Bench-specific structured payload (null unless the bench provides
   /// one). channel_parallel_scaling reports its worker-count sweep here:
@@ -46,7 +53,10 @@ struct PerfBenchOutcome {
 std::vector<PerfBenchOutcome> run_perf_benches(const PerfOptions& opts);
 
 /// Wraps outcomes in the machine-readable BENCH_results.json document
-/// (schema "easydram-bench-v1" — see README "Performance").
+/// (schema "easydram-bench-v2" — see docs/bench.md): every bench carries
+/// the warmup-discarded RepStats reduction (median/p95/stddev/CV, best
+/// kept for v1 continuity) and the document records host-core metadata so
+/// tools/check_bench.py can skip cross-host median comparisons.
 Json perf_results_json(const PerfOptions& opts,
                        const std::vector<PerfBenchOutcome>& outcomes);
 

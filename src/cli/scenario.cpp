@@ -26,6 +26,7 @@ void register_rowhammer_scenarios(ScenarioRegistry& r);
 void register_refresh_scenarios(ScenarioRegistry& r);
 void register_faults_scenarios(ScenarioRegistry& r);
 void register_qos_scenarios(ScenarioRegistry& r);
+void register_streamsweep_scenarios(ScenarioRegistry& r);
 
 std::uint64_t rep_seed(const RunOptions& opts, int rep) {
   EASYDRAM_EXPECTS(rep >= 0);
@@ -60,6 +61,7 @@ ScenarioRegistry::ScenarioRegistry() {
   register_refresh_scenarios(*this);
   register_faults_scenarios(*this);
   register_qos_scenarios(*this);
+  register_streamsweep_scenarios(*this);
   std::sort(scenarios_.begin(), scenarios_.end(),
             [](const Scenario& a, const Scenario& b) { return a.name < b.name; });
 }
@@ -105,6 +107,7 @@ struct ParsedArgs {
   bool help = false;
   bool perf = false;
   int perf_reps = 3;
+  int perf_warmup = 1;
   double perf_scale = 1.0;
   std::string error;
 };
@@ -207,6 +210,15 @@ ParsedArgs parse_args(int argc, char** argv) {
         if (!n || *n < 1 || *n > 1000) a.error = "bad --perf-reps value";
         else a.perf_reps = static_cast<int>(*n);
       }
+    } else if (arg == "--perf-warmup") {
+      if (const char* v = value()) {
+        const auto n = parse_int(v);
+        if (!n || *n < 0 || *n > 100) {
+          a.error = "bad --perf-warmup value (need 0 .. 100)";
+        } else {
+          a.perf_warmup = static_cast<int>(*n);
+        }
+      }
     } else if (arg == "--perf-scale") {
       if (const char* v = value()) {
         char* end = nullptr;
@@ -230,7 +242,7 @@ void print_usage(std::ostream& os, const char* prog) {
      << " [--scenario NAME]... [--list] [--seed N] [--iters N]\n"
         "       [--threads N] [--pump-workers N] [--channels N] [--ranks N]\n"
         "       [--mapping KIND] [--sched POLICY] [--perf] [--perf-reps N]\n"
-        "       [--perf-scale X]\n"
+        "       [--perf-warmup N] [--perf-scale X]\n"
         "       [--out results.json] [--quiet] [--help]\n\n"
         "Runs EasyDRAM experiment scenarios (paper figure/table reproducers\n"
         "and ablations) and emits machine-readable JSON summaries.\n\n"
@@ -252,7 +264,9 @@ void print_usage(std::ostream& os, const char* prog) {
         "                   scenario's validated policy; qos_* scenarios\n"
         "                   restrict their policy sweep to POLICY)\n"
         "  --perf           run the host-performance harness instead\n"
-        "  --perf-reps N    timed repetitions per perf bench (default 3)\n"
+        "  --perf-reps N    measured repetitions per perf bench (default 3)\n"
+        "  --perf-warmup N  warmup repetitions discarded before the measured\n"
+        "                   ones (default 1; see docs/bench.md)\n"
         "  --perf-scale X   multiplier on the micro benches' iteration\n"
         "                   budgets (scenario benches always run whole)\n"
         "  --out PATH       write the JSON summary to PATH\n"
@@ -302,6 +316,7 @@ int scenario_main(std::span<const std::string_view> default_names, int argc,
     PerfOptions popts;
     popts.run = a.opts;
     popts.reps = a.perf_reps;
+    popts.warmup = a.perf_warmup;
     popts.scale = a.perf_scale;
     popts.only = a.scenarios;
     std::vector<PerfBenchOutcome> outcomes;

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cpu/trace.hpp"
+
+namespace easydram::workloads {
+
+/// The four STREAM kernels (McCalpin): Copy b=a, Scale b=s*a, Add c=a+b,
+/// Triad a=b+s*c. Each is generated as a marker-bounded trace at a
+/// parameterized working-set size so a sweep across sizes traces the
+/// modelled cache hierarchy's bandwidth curve (stream_sweep scenario).
+enum class StreamKernel { kCopy, kScale, kAdd, kTriad };
+
+inline constexpr StreamKernel kAllStreamKernels[] = {
+    StreamKernel::kCopy, StreamKernel::kScale, StreamKernel::kAdd,
+    StreamKernel::kTriad};
+
+std::string_view to_string(StreamKernel k);
+
+/// Parameters of one STREAM-kernel trace. `working_set_bytes` is the total
+/// footprint budget split evenly across the kernel's arrays (2 for
+/// copy/scale, 3 for add/triad), rounded down to whole cache lines — the
+/// sweep axis. Warm passes prime the caches before the first marker; the
+/// measured passes run between the two markers.
+struct StreamSweepParams {
+  StreamKernel kernel = StreamKernel::kCopy;
+  std::uint64_t working_set_bytes = 0;
+  int warm_passes = 1;
+  int measured_passes = 2;
+  std::uint64_t base_addr = 0;
+};
+
+/// Arrays the kernel touches: 2 (copy/scale) or 3 (add/triad).
+int stream_array_count(StreamKernel k);
+
+/// Cache lines per array: working_set_bytes / arrays / 64 (>= 1 required).
+std::uint64_t stream_lines_per_array(const StreamSweepParams& p);
+
+/// Memory records one pass emits: lines_per_array * (arrays' loads+stores).
+std::uint64_t stream_records_per_pass(const StreamSweepParams& p);
+
+/// Exact record count of make_stream_trace (passes plus the two markers).
+std::size_t stream_record_count(const StreamSweepParams& p);
+
+/// Bytes moved per pass (one cache line per memory record).
+std::uint64_t stream_bytes_per_pass(const StreamSweepParams& p);
+
+/// Builds the trace: warm passes, marker, measured passes, marker. The
+/// arrays are laid out contiguously from base_addr, 64-byte aligned, so
+/// the actual footprint is arrays * lines_per_array * 64 <= working set.
+std::vector<cpu::TraceRecord> make_stream_trace(const StreamSweepParams& p);
+
+/// Parameters of one dependent-load pointer-chase latency trace
+/// (latency_sweep scenario). The chase follows a single-cycle permutation
+/// over the working set's cache lines, so every load depends on the
+/// previous one and each pass visits every line exactly once.
+struct LatencySweepParams {
+  std::uint64_t working_set_bytes = 0;
+  int warm_passes = 1;
+  int measured_passes = 2;
+  std::uint64_t base_addr = 0;
+  std::uint64_t seed = 0x17B;
+};
+
+/// The chase's successor table: next[i] is the line visited after line i.
+/// Sattolo's algorithm guarantees the permutation is one single cycle
+/// covering all `lines`, so a chase starting anywhere visits every line
+/// exactly once before returning to its start.
+std::vector<std::uint64_t> latency_chase_order(std::uint64_t lines,
+                                               std::uint64_t seed);
+
+/// Dependent loads one pass emits: working_set_bytes / 64.
+std::uint64_t latency_loads_per_pass(const LatencySweepParams& p);
+
+/// Exact record count of make_latency_trace (passes plus the two markers).
+std::size_t latency_record_count(const LatencySweepParams& p);
+
+/// Builds the chase trace: warm passes, marker, measured passes, marker.
+std::vector<cpu::TraceRecord> make_latency_trace(const LatencySweepParams& p);
+
+/// The canonical ~8-point working-set sweep spanning the hierarchy's
+/// transitions for the given cache sizes:
+/// {l1/2, l1, 2*l1, l2/2, l2, 2*l2, 4*l2, 8*l2}.
+std::vector<std::uint64_t> sweep_working_sets(std::uint64_t l1_bytes,
+                                              std::uint64_t l2_bytes);
+
+}  // namespace easydram::workloads

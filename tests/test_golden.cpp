@@ -52,6 +52,7 @@ constexpr GoldenEntry kGolden[] = {
     {"fig13_trcd_speedup", 0xD8AE6DB2AF811381ull},
     {"fig2_breakdown", 0xD070C9DB79A7858Aull},
     {"fig8_latency_profile", 0x0BEC113C08C4FC67ull},
+    {"latency_sweep", 0xA62476266726E912ull},
     {"mitigation_overhead", 0x44FF6F4B882509B9ull},
     {"qos_bank_partition", 0xC6CC1895D784AB1Aull},
     {"qos_mitigation", 0xED42D1BBCB2C9035ull},
@@ -67,6 +68,7 @@ constexpr GoldenEntry kGolden[] = {
     {"rowhammer_graphene", 0x58C1ADC7E933FD8Cull},
     {"rowhammer_para", 0x97C61FB1735CA39Aull},
     {"scrub_raidr", 0xD4EAED7D14A4DB4Eull},
+    {"stream_sweep", 0x59D22BAE68461BAFull},
     {"table1_platforms", 0x0F61635A17B1D40Cull},
     {"validation_timescale", 0x76793482AB8533D5ull},
 };
@@ -138,6 +140,35 @@ TEST(GoldenHashTest, MultiChannelScenariosThreadCountInvariant) {
 TEST(GoldenHashTest, QosScenariosThreadCountInvariant) {
   const char* kQos[] = {"qos_tenant_scaling", "qos_bank_partition"};
   for (const char* name : kQos) {
+    const Scenario* s = ScenarioRegistry::instance().find(name);
+    ASSERT_NE(s, nullptr) << name;
+    RunOptions base;
+    base.verbose = false;
+    const std::string serial =
+        run_scenario(*s, base)["results"].dump_string();
+    {
+      RunOptions opts = base;
+      opts.threads = 4;
+      EXPECT_EQ(run_scenario(*s, opts)["results"].dump_string(), serial)
+          << name << " diverged at --threads 4";
+    }
+    for (const unsigned pump : {1u, 4u}) {
+      RunOptions opts = base;
+      opts.pump_workers = pump;
+      EXPECT_EQ(run_scenario(*s, opts)["results"].dump_string(), serial)
+          << name << " diverged at --pump-workers " << pump;
+    }
+  }
+}
+
+/// The sweep scenarios shard iters x (kernel x size) tasks across the
+/// sweep pool and run each simulated system under a pump-worker budget —
+/// both layers of the parallel core. Their bandwidth/latency curves (and
+/// so the monotonicity booleans the curves feed) must be bit-identical
+/// however the host budget is split.
+TEST(GoldenHashTest, StreamSweepScenariosThreadCountInvariant) {
+  const char* kSweeps[] = {"stream_sweep", "latency_sweep"};
+  for (const char* name : kSweeps) {
     const Scenario* s = ScenarioRegistry::instance().find(name);
     ASSERT_NE(s, nullptr) << name;
     RunOptions base;

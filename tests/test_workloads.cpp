@@ -7,6 +7,7 @@
 #include "workloads/hammer.hpp"
 #include "workloads/lmbench.hpp"
 #include "workloads/polybench.hpp"
+#include "workloads/streamsweep.hpp"
 
 namespace easydram::workloads {
 namespace {
@@ -359,6 +360,150 @@ TEST(HammerTest, BlendSplicesWholeRoundsAndKeepsEveryRecord) {
   EXPECT_EQ(blend[10].op, cpu::Op::kLoadDependent);
   EXPECT_EQ(blend[11].op, cpu::Op::kFlush);
   EXPECT_EQ(blend[12].op, cpu::Op::kLoad);  // Background resumes.
+}
+
+// --------------------------------------------------------------------------
+// STREAM / latency sweep kernels
+// --------------------------------------------------------------------------
+
+TEST(StreamSweepTest, RecordCountsExactAcrossTheWholeSweep) {
+  // The count functions drive the generator's up-front reserve and the
+  // scenario's bytes-moved accounting; pin them for every kernel x size.
+  for (const StreamKernel k : kAllStreamKernels) {
+    for (const std::uint64_t ws : sweep_working_sets(8 * 1024, 64 * 1024)) {
+      StreamSweepParams p;
+      p.kernel = k;
+      p.working_set_bytes = ws;
+      const auto t = make_stream_trace(p);
+      EXPECT_EQ(t.size(), stream_record_count(p)) << to_string(k) << " " << ws;
+      EXPECT_EQ(t.capacity(), stream_record_count(p))
+          << to_string(k) << " " << ws << " reserve not applied";
+      std::int64_t markers = 0;
+      for (const auto& r : t) markers += r.op == cpu::Op::kMarker;
+      EXPECT_EQ(markers, 2);
+      EXPECT_EQ(t.back().op, cpu::Op::kMarker);
+    }
+  }
+}
+
+TEST(StreamSweepTest, KernelOpMixMatchesTheStreamDefinition) {
+  // Copy/Scale: 1 load + 1 store per line; Add/Triad: 2 loads + 1 store.
+  for (const StreamKernel k : kAllStreamKernels) {
+    StreamSweepParams p;
+    p.kernel = k;
+    p.working_set_bytes = 12 * 1024;
+    p.warm_passes = 0;
+    p.measured_passes = 1;
+    const auto t = make_stream_trace(p);
+    const std::uint64_t lines = stream_lines_per_array(p);
+    std::int64_t loads = 0, stores = 0;
+    for (const auto& r : t) {
+      loads += r.op == cpu::Op::kLoad;
+      stores += r.op == cpu::Op::kStore;
+    }
+    const bool three_arrays = stream_array_count(k) == 3;
+    EXPECT_EQ(loads, static_cast<std::int64_t>(lines * (three_arrays ? 2 : 1)))
+        << to_string(k);
+    EXPECT_EQ(stores, static_cast<std::int64_t>(lines)) << to_string(k);
+    EXPECT_EQ(stream_bytes_per_pass(p), (loads + stores) * 64u);
+  }
+}
+
+TEST(StreamSweepTest, ArraysAreDisjointAndLineAligned) {
+  StreamSweepParams p;
+  p.kernel = StreamKernel::kTriad;
+  p.working_set_bytes = 24 * 1024;
+  p.warm_passes = 0;
+  p.measured_passes = 1;
+  const std::uint64_t lines = stream_lines_per_array(p);
+  std::set<std::uint64_t> touched;
+  for (const auto& r : make_stream_trace(p)) {
+    if (r.op == cpu::Op::kMarker) continue;
+    EXPECT_EQ(r.addr % 64, 0u);
+    touched.insert(r.addr / 64);
+  }
+  // 3 arrays x lines distinct cache lines, contiguous from base_addr.
+  EXPECT_EQ(touched.size(), 3 * lines);
+  EXPECT_EQ(*touched.begin(), 0u);
+  EXPECT_EQ(*touched.rbegin(), 3 * lines - 1);
+}
+
+TEST(StreamSweepTest, Deterministic) {
+  StreamSweepParams p;
+  p.kernel = StreamKernel::kAdd;
+  p.working_set_bytes = 12 * 1024;
+  const auto a = make_stream_trace(p);
+  const auto b = make_stream_trace(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].addr, b[i].addr);
+    EXPECT_EQ(a[i].op, b[i].op);
+  }
+}
+
+TEST(LatencySweepTest, ChaseOrderIsOneSingleCycleCoveringEveryLine) {
+  for (const std::uint64_t lines : {2ull, 3ull, 64ull, 1024ull}) {
+    const auto next = latency_chase_order(lines, /*seed=*/0x17B);
+    ASSERT_EQ(next.size(), lines);
+    std::set<std::uint64_t> visited;
+    std::uint64_t cur = 0;
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      EXPECT_TRUE(visited.insert(cur).second) << "revisited " << cur;
+      EXPECT_NE(next[cur], cur) << "fixed point at " << cur;
+      cur = next[cur];
+    }
+    EXPECT_EQ(cur, 0u) << "cycle of length != lines";
+    EXPECT_EQ(visited.size(), lines);
+  }
+}
+
+TEST(LatencySweepTest, TraceCountsAndEveryLoadIsDependent) {
+  LatencySweepParams p;
+  p.working_set_bytes = 16 * 1024;
+  const auto t = make_latency_trace(p);
+  EXPECT_EQ(t.size(), latency_record_count(p));
+  EXPECT_EQ(t.capacity(), latency_record_count(p));
+  EXPECT_EQ(latency_loads_per_pass(p), (16u * 1024) / 64);
+  std::int64_t markers = 0;
+  for (const auto& r : t) {
+    if (r.op == cpu::Op::kMarker) {
+      ++markers;
+      continue;
+    }
+    EXPECT_EQ(r.op, cpu::Op::kLoadDependent);
+    EXPECT_EQ(r.addr % 64, 0u);
+  }
+  EXPECT_EQ(markers, 2);
+}
+
+TEST(LatencySweepTest, SeedDeterminesTheChaseOrder) {
+  LatencySweepParams p;
+  p.working_set_bytes = 8 * 1024;
+  const auto a = make_latency_trace(p);
+  const auto b = make_latency_trace(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].addr, b[i].addr);
+
+  LatencySweepParams q = p;
+  q.seed = p.seed + 1;
+  const auto c = make_latency_trace(q);
+  ASSERT_EQ(a.size(), c.size());
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_different = any_different || a[i].addr != c[i].addr;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SweepWorkingSetsTest, EightPointsSpanningTheTransitions) {
+  const auto sizes = sweep_working_sets(8 * 1024, 64 * 1024);
+  EXPECT_EQ(sizes, (std::vector<std::uint64_t>{
+                       4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024,
+                       128 * 1024, 256 * 1024, 512 * 1024}));
+  // Strictly increasing: every point is a distinct sweep x-coordinate.
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LT(sizes[i - 1], sizes[i]);
+  }
 }
 
 }  // namespace
